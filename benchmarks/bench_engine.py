@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the simulation substrate.
+
+These are classic pytest-benchmark measurements (many rounds) of the
+hot paths the figure runs spend their time in: event dispatch, iSlip
+matching, queue operations and the CCFIT port state machine.
+"""
+
+import numpy as np
+
+from repro.core.isolation import NfqCfqScheme
+from repro.network.arbiter import ISlip
+from repro.network.buffers import PacketQueue
+from repro.network.packet import Packet
+from repro.sim.engine import Simulator
+
+
+def test_event_dispatch_rate(benchmark):
+    def dispatch_10k():
+        sim = Simulator()
+        fn = (lambda: None)
+        for i in range(10_000):
+            sim.schedule(float(i), fn)
+        sim.run()
+        return sim.events_dispatched
+
+    assert benchmark(dispatch_10k) == 10_000
+
+
+def test_self_rescheduling_chain(benchmark):
+    """The generator/timer pattern: each event schedules the next."""
+
+    def chain_10k():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule_in(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(chain_10k) == 10_000
+
+
+def test_islip_matching_rate(benchmark):
+    arb = ISlip(8, 8, iterations=2)
+    rng = np.random.default_rng(0)
+    requests = [
+        {i: list(rng.choice(8, size=rng.integers(1, 4), replace=False)) for i in range(8)}
+        for _ in range(256)
+    ]
+
+    def match_all():
+        n = 0
+        for req in requests:
+            n += len(arb.match(req))
+        return n
+
+    assert benchmark(match_all) > 0
+
+
+def test_queue_churn(benchmark):
+    pkts = [Packet(0, i % 16, 2048, "f") for i in range(512)]
+
+    def churn():
+        q = PacketQueue("q", track_dests=True)
+        for p in pkts:
+            q.push(p)
+        while not q.empty:
+            q.pop()
+        return q.bytes
+
+    assert benchmark(churn) == 0
+
+
+def test_isolation_update_rate(benchmark):
+    """Arrival + post-process + detection on a CCFIT port."""
+    from tests.test_isolation import FakeIsolationHost
+
+    def arrivals():
+        host = FakeIsolationHost()
+        scheme = NfqCfqScheme(host, drive_congestion_state=True)
+        for i in range(256):
+            scheme.on_arrival(Packet(0, i % 3, 2048, "f"))
+            if i % 4 == 3:
+                for line in scheme.cam.lines():
+                    cfq = scheme.cfqs[line.cfq_index]
+                    if not cfq.empty:
+                        cfq.pop()
+                        scheme.after_dequeue(cfq)
+        return scheme.moves
+
+    assert benchmark(arrivals) > 0

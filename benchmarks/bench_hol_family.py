@@ -1,0 +1,82 @@
+"""The §II HoL-reduction family, side by side (extension bench).
+
+Two complementary probes on the 2-ary 3-tree:
+
+* **uniform saturation** — how much of the fabric each queue scheme
+  unlocks with no congestion trees at all.  Theory (§II) predicts
+  1Q < DBBM < VOQsw < VOQnet, with FBICM ≈ 1Q (its NFQ is a single
+  FIFO; CFQs only help *against congestion*);
+* **hotspot victim** — a bystander sharing queues with an endpoint
+  hotspot.  Here the ordering flips: the implicit schemes (DBBM,
+  VOQsw) cannot separate a congested flow from a victim mapped to the
+  same queue, while FBICM's explicit isolation can.
+
+Together they are the paper's §II argument in numbers: implicit
+queue-splitting helps uniform traffic, explicit congested-flow
+isolation is what survives congestion.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import render_table
+from repro.network.fabric import build_fabric
+from repro.network.topology import k_ary_n_tree
+from repro.traffic.flows import FlowSpec, attach_traffic
+
+MS = 1_000_000.0
+FAMILY = ("1Q", "DBBM", "VOQsw", "VOQnet", "FBICM")
+
+
+def uniform_throughput(scheme: str, seed: int) -> float:
+    fab = build_fabric(k_ary_n_tree(2, 3), scheme=scheme, seed=seed)
+    attach_traffic(
+        fab, uniform=[{"node": n, "rate": 2.5, "name": f"U{n}"} for n in range(8)]
+    )
+    fab.run(until=2 * MS)
+    return fab.collector.total_bandwidth(0.5 * MS, 2 * MS)
+
+
+def victim_bandwidth(scheme: str, seed: int) -> float:
+    fab = build_fabric(k_ary_n_tree(2, 3), scheme=scheme, seed=seed)
+    attach_traffic(
+        fab,
+        flows=[
+            # victim 0->5 shares the d0=1 ascent plane with the hotspot
+            FlowSpec("vic", src=0, dst=5, rate=2.5),
+            FlowSpec("h1", src=1, dst=7, rate=2.5),
+            FlowSpec("h2", src=2, dst=7, rate=2.5),
+            FlowSpec("h3", src=3, dst=7, rate=2.5),
+            FlowSpec("h4", src=4, dst=7, rate=2.5),
+        ],
+    )
+    fab.run(until=2 * MS)
+    return fab.collector.flow_bandwidth("vic", 1 * MS, 2 * MS)
+
+
+def test_hol_family(benchmark, seed):
+    def sweep():
+        return [
+            {
+                "scheme": s,
+                "uniform GB/s": f"{uniform_throughput(s, seed):.2f}",
+                "victim GB/s": f"{victim_bandwidth(s, seed):.2f}",
+            }
+            for s in FAMILY
+        ]
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print("EXTENSION — the §II HoL-reduction family (2-ary 3-tree)")
+    print(render_table(rows))
+
+    uni = {r["scheme"]: float(r["uniform GB/s"]) for r in rows}
+    vic = {r["scheme"]: float(r["victim GB/s"]) for r in rows}
+    # implicit splitting unlocks uniform throughput monotonically
+    assert uni["1Q"] < uni["DBBM"] < uni["VOQnet"]
+    assert uni["DBBM"] <= uni["VOQsw"] * 1.02
+    # FBICM's single NFQ gains little on uniform ...
+    assert uni["FBICM"] < uni["DBBM"]
+    # ... but explicit isolation wins where it matters: the victim
+    assert vic["FBICM"] > 2 * vic["1Q"]
+    assert vic["FBICM"] > vic["DBBM"]
+    assert vic["VOQnet"] > 2 * vic["1Q"]  # per-destination also isolates

@@ -1,0 +1,26 @@
+"""Table I — evaluated interconnection network configurations.
+
+Regenerates the table from code, asserts each column's topology builds
+to spec, and times the (non-trivial) 64-node fabric construction.
+"""
+
+from conftest import run_once
+
+from repro.experiments.configs import CONFIG1, CONFIG2, CONFIG3, table1
+from repro.experiments.report import render_table
+from repro.network.fabric import build_fabric
+
+
+def test_table1(benchmark):
+    for cfg in (CONFIG1, CONFIG2, CONFIG3):
+        cfg.check()
+
+    def build_config3_fabric():
+        return build_fabric(CONFIG3.topo(), scheme="CCFIT", seed=0)
+
+    fabric = run_once(benchmark, build_config3_fabric)
+    assert len(fabric.switches) == 48 and len(fabric.nodes) == 64
+
+    print()
+    print("TABLE I — evaluated network configurations")
+    print(render_table(table1()))

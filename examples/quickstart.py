@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: build a network, inject a hotspot, watch CCFIT work.
+
+Builds the paper's Config #1 (Fig. 5) — two switches, seven nodes, a
+5 GB/s inter-switch link — runs a 2 ms hotspot scenario under CCFIT,
+and prints what happened: per-flow bandwidth, FECN/BECN activity and
+the congestion-tree bookkeeping.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_fabric, config1_adhoc
+from repro.traffic.flows import FlowSpec, attach_traffic
+
+MS = 1_000_000.0  # 1 ms in simulation time (ns)
+
+
+def main() -> None:
+    topo = config1_adhoc()
+    print(f"topology: {topo.name} — {topo.num_nodes} nodes, {topo.num_switches} switches")
+    print(
+        """
+        nodes 0,1,2          nodes 3,4,5,6
+           \\ | /               | | | |
+          [switch 0] ========= [switch 1]
+                      5 GB/s
+        (node links 2.5 GB/s; node 4 is about to get popular)
+        """
+    )
+
+    fabric = build_fabric(topo, scheme="CCFIT", seed=42)
+    attach_traffic(
+        fabric,
+        flows=[
+            # a well-behaved flow crossing the inter-switch link ...
+            FlowSpec("victim", src=0, dst=3, rate=2.5),
+            # ... and three flows hammering node 4 (7.5 GB/s into 2.5)
+            FlowSpec("hog-a", src=1, dst=4, rate=2.5),
+            FlowSpec("hog-b", src=2, dst=4, rate=2.5),
+            FlowSpec("hog-c", src=5, dst=4, rate=2.5),
+        ],
+    )
+
+    fabric.run(until=2 * MS)
+
+    c = fabric.collector
+    print("per-flow delivered bandwidth over the last millisecond (GB/s):")
+    for flow in c.flows():
+        print(f"  {flow:8s} {c.flow_bandwidth(flow, 1 * MS, 2 * MS):5.2f}")
+
+    s = fabric.stats()
+    print("\nwhat CCFIT did about it:")
+    print(f"  congestion trees isolated (CFQ allocations): {int(s['allocated_cfqs'])} live now")
+    print(f"  packets FECN-marked at congested ports:      {int(s['fecn_marked'])}")
+    print(f"  BECNs returned to the sources:               {int(s['becns_received'])}")
+    print(
+        "\nThe victim flow runs close to wire speed even though it shares "
+        "every queue on its path with the hotspot traffic — isolation "
+        "removed the HoL blocking immediately, and throttling shrank the "
+        "congestion tree itself.  (Compare scheme='1Q': the victim drops "
+        "to ~0.8 GB/s.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work without the `wheel` package
+(this environment is offline); all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

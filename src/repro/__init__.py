@@ -1,0 +1,59 @@
+"""repro — reproduction of *Combining Congested-Flow Isolation and
+Injection Throttling in HPC Interconnection Networks* (Escudero-
+Sahuquillo et al., ICPP 2011).
+
+The package models lossless, credit-flow-controlled interconnection
+networks at packet granularity and implements the paper's congestion
+control mechanisms end to end:
+
+* **CCFIT** — the paper's contribution: FBICM-style congested-flow
+  isolation (NFQ + dynamically allocated CFQs + CAMs + Stop/Go tree
+  propagation) combined with InfiniBand-style injection throttling
+  (FECN/BECN, CCT/CCTI at the sources), §III;
+* the standalone baselines it is evaluated against: **1Q**, **FBICM**,
+  **ITh** (VOQsw + throttling), **VOQnet** and **VOQsw**, §IV-A;
+* the three evaluated network configurations (Table I) and four
+  traffic cases, with one runner per figure in
+  :mod:`repro.experiments`.
+
+Quick start::
+
+    from repro import build_fabric, k_ary_n_tree, attach_traffic, FlowSpec
+
+    fabric = build_fabric(k_ary_n_tree(2, 3), scheme="CCFIT", seed=7)
+    attach_traffic(fabric, flows=[FlowSpec("F0", src=0, dst=7, rate=2.5)])
+    fabric.run(until=2_000_000)          # 2 ms (time unit: ns)
+    print(fabric.collector.flow_bandwidth("F0", 0, 2_000_000), "GB/s")
+"""
+
+from repro.core.ccfit import SCHEMES, Scheme
+from repro.core.params import CCParams, exponential_cct, linear_cct
+from repro.metrics.analysis import jain_index, oscillation_score
+from repro.metrics.collector import Collector
+from repro.network.fabric import Fabric, build_fabric
+from repro.network.topology import Topology, config1_adhoc, k_ary_n_tree
+from repro.sim.engine import Simulator
+from repro.traffic.flows import FlowSpec, attach_traffic
+from repro.traffic import patterns
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SCHEMES",
+    "Scheme",
+    "CCParams",
+    "linear_cct",
+    "exponential_cct",
+    "Collector",
+    "jain_index",
+    "oscillation_score",
+    "Fabric",
+    "build_fabric",
+    "Topology",
+    "config1_adhoc",
+    "k_ary_n_tree",
+    "Simulator",
+    "FlowSpec",
+    "attach_traffic",
+    "patterns",
+]

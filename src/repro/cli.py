@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Print Table I and the per-scheme hardware-cost comparison.
+``fig 7a|7b|7c|8a|8b|8c|9|10``
+    Regenerate one figure of §IV (series/flow tables to stdout).
+``case 1|2|3 --scheme CCFIT``
+    Run a single traffic case under one scheme and print per-flow
+    bandwidths plus the CC counters.
+``trees N --scheme CCFIT``
+    Run the Case #4 scalability probe with N congestion trees.
+
+Common options: ``--scale`` (time compression, default 0.3),
+``--seed``, ``--csv PATH`` (dump the throughput series).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from repro.experiments.configs import CONFIG3, table1
+from repro.experiments.costs import cost_table
+from repro.experiments.report import (
+    render_fig8_summary,
+    render_flow_table,
+    render_series,
+    render_table,
+)
+from repro.experiments.runner import (
+    FIG8_SCHEMES,
+    PAPER_SCHEMES,
+    CaseResult,
+    run_case1,
+    run_case2,
+    run_case3,
+    run_case4,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="CCFIT (ICPP 2011) reproduction — regenerate the paper's evaluation",
+    )
+    p.add_argument("--scale", type=float, default=0.3, help="time compression (1.0 = paper scale)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--csv", type=str, default=None, help="write the throughput series as CSV")
+    p.add_argument("--svg", type=str, default=None, help="render the figure as an SVG chart")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I + scheme hardware costs")
+
+    fig = sub.add_parser("fig", help="regenerate a figure (7a..7c, 8a..8c, 9, 10)")
+    fig.add_argument("panel", choices=["7a", "7b", "7c", "8a", "8b", "8c", "9", "10"])
+
+    case = sub.add_parser("case", help="run one traffic case under one scheme")
+    case.add_argument("number", type=int, choices=[1, 2, 3])
+    case.add_argument("--scheme", default="CCFIT", choices=list(FIG8_SCHEMES) + ["VOQsw"])
+
+    trees = sub.add_parser("trees", help="Case #4 scalability probe")
+    trees.add_argument("count", type=int)
+    trees.add_argument("--scheme", default="CCFIT", choices=list(FIG8_SCHEMES) + ["VOQsw"])
+    return p
+
+
+def _write_csv(path: str, results: Dict[str, CaseResult]) -> None:
+    with open(path, "w") as fh:
+        fh.write("scheme,time_ns,throughput_gbs\n")
+        for scheme, res in results.items():
+            times, rates = res.throughput
+            for t, r in zip(times, rates):
+                fh.write(f"{scheme},{t:.1f},{r:.6f}\n")
+    print(f"wrote {path}")
+
+
+def _print_case(res: CaseResult) -> None:
+    print(f"scheme {res.scheme}: {res.duration / 1e6:.2f} ms simulated")
+    if res.flow_bandwidth:
+        rows = [
+            {"flow": f, "GB/s (tail window)": f"{bw:.3f}"}
+            for f, bw in sorted(res.flow_bandwidth.items())
+        ]
+        print(render_table(rows))
+    interesting = (
+        "delivered_packets",
+        "fecn_marked",
+        "becns_received",
+        "cfq_alloc_failures",
+        "events",
+    )
+    print(render_table([{k: int(res.stats[k]) for k in interesting}]))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        print("TABLE I — evaluated network configurations")
+        print(render_table(table1()))
+        print()
+        print("Scheme hardware costs on Config #3 (64 nodes):")
+        print(render_table(cost_table(CONFIG3.topo())))
+        return 0
+
+    if args.command == "fig":
+        panel = args.panel
+        if panel.startswith("7"):
+            results = run_fig7(panel[1], PAPER_SCHEMES, time_scale=args.scale, seed=args.seed)
+            print(render_series(results, stride=max(1, len(next(iter(results.values())).throughput[0]) // 18)))
+        elif panel.startswith("8"):
+            trees = {"a": 1, "b": 4, "c": 6}[panel[1]]
+            results = run_fig8(trees, FIG8_SCHEMES, time_scale=args.scale, seed=args.seed)
+            print(render_series(results, stride=max(1, len(next(iter(results.values())).throughput[0]) // 15)))
+            print(render_fig8_summary(results))
+        elif panel == "9":
+            results = run_fig9(PAPER_SCHEMES, time_scale=args.scale, seed=args.seed)
+            print(render_flow_table(results, ("F0", "F1", "F2", "F5", "F6")))
+        else:
+            results = run_fig10(PAPER_SCHEMES, time_scale=args.scale, seed=args.seed)
+            print(render_flow_table(results, ("F0", "F1", "F2", "F3", "F4")))
+        if args.csv:
+            _write_csv(args.csv, results)
+        if args.svg:
+            from repro.metrics.svgplot import chart_results
+
+            if panel in ("9", "10"):
+                # one panel per scheme, suffixed like the paper's (a)-(d)
+                base = args.svg[:-4] if args.svg.endswith(".svg") else args.svg
+                for tag, (scheme, res) in zip("abcd", results.items()):
+                    path = f"{base}{tag}.svg"
+                    chart_results({scheme: res}, f"Fig. {panel}{tag}", per_flow=True).write(path)
+                    print(f"wrote {path}")
+            else:
+                chart_results(results, f"Fig. {panel}").write(args.svg)
+                print(f"wrote {args.svg}")
+        return 0
+
+    if args.command == "case":
+        runner = {1: run_case1, 2: run_case2, 3: run_case3}[args.number]
+        res = runner(args.scheme, time_scale=args.scale, seed=args.seed)
+        _print_case(res)
+        if args.csv:
+            _write_csv(args.csv, {args.scheme: res})
+        return 0
+
+    if args.command == "trees":
+        res = run_case4(args.scheme, num_trees=args.count, time_scale=args.scale, seed=args.seed)
+        _print_case(res)
+        print(f"burst-window throughput: {res.mean_throughput():.1f} GB/s")
+        if args.csv:
+            _write_csv(args.csv, {args.scheme: res})
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

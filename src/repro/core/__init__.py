@@ -1,0 +1,19 @@
+"""The paper's contribution: CCFIT and its two constituent mechanisms.
+
+* :mod:`repro.core.params` — every congestion-control parameter, with
+  the §III-E tuning rules enforced.
+* :mod:`repro.core.cam` — content-addressable-memory lines tracking
+  congestion trees at input ports, output ports and input adapters.
+* :mod:`repro.core.isolation` — FBICM-style congested-flow isolation
+  (detection, CFQ allocation, post-processing, upstream propagation,
+  Stop/Go, deallocation).
+* :mod:`repro.core.throttling` — InfiniBand-style injection throttling
+  (FECN marking, BECN reaction, CCT/CCTI/IRD source state).
+* :mod:`repro.core.ccfit` — the combination, plus presets for every
+  evaluated scheme (1Q, VOQsw, VOQnet, FBICM, ITh, CCFIT).
+"""
+
+from repro.core.params import CCParams, linear_cct, exponential_cct
+from repro.core.ccfit import Scheme, scheme_params
+
+__all__ = ["CCParams", "linear_cct", "exponential_cct", "Scheme", "scheme_params"]

@@ -1,0 +1,125 @@
+r"""CCFIT and the evaluated scheme presets.
+
+The paper evaluates five techniques (§IV-A); this module captures each
+as a :class:`SchemeSpec` bundling the switch queue organisation, the
+IA output-stage mode, and which halves of the CC machinery are active:
+
+========  =====================  ==========  ========  ==========
+scheme    switch queues          IA stage    marking   throttling
+========  =====================  ==========  ========  ==========
+1Q        one FIFO               fifo        no        no
+VOQsw     per-output VOQs        fifo        no        no
+DBBM      dst-hash queues        fifo        no        no
+VOQnet    per-destination VOQs   bypass      no        no
+FBICM     NFQ + CFQs (+CAMs)     isolation   no        no
+ITh       per-output VOQs        fifo        yes*      yes
+CCFIT     NFQ + CFQs (+CAMs)     isolation   yes**     yes
+========  =====================  ==========  ========  ==========
+
+\* ITh detects congestion by VOQ occupancy (High/Low thresholds of
+[12]); \** CCFIT by *root CFQ* occupancy (§III-C) — the defining
+combination of this paper: isolation handles HoL blocking instantly,
+and the throttling it triggers drains the trees so the isolation never
+runs out of CFQs (Fig. 8).
+
+``VOQsw`` and ``DBBM`` are not part of the paper's evaluated set but
+are §II related work that falls out of the queue-scheme machinery for
+free, rounding out the HoL-reduction family the paper positions CCFIT
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.core.isolation import NfqCfqScheme
+from repro.core.params import CCParams
+from repro.network.queueing import (
+    DbbmScheme,
+    OneQScheme,
+    QueueScheme,
+    VOQnetScheme,
+    VOQswScheme,
+)
+
+__all__ = ["Scheme", "SchemeSpec", "scheme_params", "SCHEMES"]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Everything the fabric builder needs to configure one technique."""
+
+    name: str
+    #: builds the queue scheme for one switch input port; receives the
+    #: port and the network size (for VOQnet).
+    switch_scheme: Callable[[object, int], QueueScheme]
+    #: IA output-stage mode: "isolation" | "fifo" | "bypass".
+    ia_staging: str
+    #: FECN-mark packets crossing congested output ports.
+    marking: bool
+    #: install CCT/CCTI throttling at the sources.
+    throttling: bool
+    #: switch input-port memory override (bytes), None = params value.
+    memory_override: Callable[[CCParams, int], int] = None  # type: ignore[assignment]
+
+
+def _oneq(port, _n):  # noqa: ANN001 - duck-typed port host
+    return OneQScheme(port)
+
+
+def _dbbm(port, _n):
+    return DbbmScheme(port, num_queues=port.params.num_voqs)
+
+
+def _voqsw(port, _n):
+    return VOQswScheme(port, num_outputs=port.switch.num_ports, detect_hot=False)
+
+
+def _voqsw_detect(port, _n):
+    return VOQswScheme(port, num_outputs=port.switch.num_ports, detect_hot=True)
+
+
+def _voqnet(port, num_nodes):
+    return VOQnetScheme(port, num_destinations=num_nodes)
+
+
+def _fbicm(port, _n):
+    return NfqCfqScheme(port, drive_congestion_state=False)
+
+
+def _ccfit(port, _n):
+    return NfqCfqScheme(port, drive_congestion_state=True)
+
+
+def _voqnet_memory(params: CCParams, num_nodes: int) -> int:
+    """VOQnet needs ``num_nodes`` queues of at least 4 KiB (§IV-A:
+    256 KiB ports on the 64-node configuration)."""
+    return max(params.memory_size, params.voqnet_queue_size * num_nodes)
+
+
+def _default_memory(params: CCParams, _num_nodes: int) -> int:
+    return params.memory_size
+
+
+SCHEMES = {
+    "1Q": SchemeSpec("1Q", _oneq, "fifo", False, False, _default_memory),
+    "VOQsw": SchemeSpec("VOQsw", _voqsw, "fifo", False, False, _default_memory),
+    "DBBM": SchemeSpec("DBBM", _dbbm, "fifo", False, False, _default_memory),
+    "VOQnet": SchemeSpec("VOQnet", _voqnet, "bypass", False, False, _voqnet_memory),
+    "FBICM": SchemeSpec("FBICM", _fbicm, "isolation", False, False, _default_memory),
+    "ITh": SchemeSpec("ITh", _voqsw_detect, "fifo", True, True, _default_memory),
+    "CCFIT": SchemeSpec("CCFIT", _ccfit, "isolation", True, True, _default_memory),
+}
+
+#: the names, in the paper's plotting order.
+Scheme = tuple(SCHEMES)
+
+
+def scheme_params(name: str, base: CCParams = None) -> Tuple[SchemeSpec, CCParams]:  # type: ignore[assignment]
+    """Resolve a scheme name to its spec plus validated parameters."""
+    if name not in SCHEMES:
+        raise KeyError(f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}")
+    params = base if base is not None else CCParams()
+    params.validate()
+    return SCHEMES[name], params

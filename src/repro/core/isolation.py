@@ -1,0 +1,449 @@
+"""Congested-flow isolation: the NFQ+CFQ scheme and its tree protocol.
+
+This module implements the FBICM-style machinery CCFIT builds on
+(§III-A/C/D):
+
+* every arriving packet is stored in the port's **NFQ** (Event #1);
+* **detection**: when NFQ occupancy exceeds the detection threshold, a
+  CFQ plus CAM line is allocated for the destination of the blocking
+  head packet (Event #2).  The line is *root* — one hop from the
+  congestion point — which matters for CCFIT's FECN marking;
+* **post-processing** (Event #3): whenever a packet reaches the NFQ
+  head, its destination is looked up in the port CAM (and in the
+  switch's output-port CAMs for trees announced from downstream); on a
+  match the packet moves to the corresponding CFQ, so only
+  non-congested packets ever occupy the NFQ head — HoL blocking is
+  gone the moment the CFQ exists;
+* **propagation** (Events #4/#5): a CFQ filling past the propagation
+  threshold sends ``CfqAlloc`` to the upstream device, which records it
+  in the output-port CAM and lazily allocates its own input CFQs;
+  Stop/Go flow control then runs per congestion tree between the
+  neighbouring CFQs;
+* **deallocation** (Event #6): an empty CFQ whose CAM line is in Go
+  status frees itself (after a small hysteresis lifetime) and notifies
+  upstream, releasing resources for new congestion trees;
+* **congestion state** (Event #7, CCFIT only): a *root* CFQ crossing
+  the High threshold moves its output port into the congestion state;
+  dropping below Low backs it out.  Non-root CFQs never mark — the
+  paper is explicit that a CFQ two hops from the congestion point does
+  not move its output into the congestion state.
+
+The scalability limit the paper probes in Fig. 8 falls out naturally:
+with every CAM line busy, ``InputCam.allocate`` fails, congested
+packets stay in the NFQ, and HoL blocking returns (the miss is
+counted).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Tuple
+
+from repro.core.cam import CamLine, InputCam, OutputCamLine
+from repro.core.params import CCParams
+from repro.network.buffers import BufferPool, PacketQueue
+from repro.network.packet import (
+    CfqAlloc,
+    CfqDealloc,
+    CfqGo,
+    CfqStop,
+    ControlMessage,
+    Packet,
+)
+from repro.network.queueing import QueueScheme
+
+__all__ = ["IsolationHost", "NfqCfqScheme"]
+
+
+class IsolationHost(Protocol):
+    """What the NFQ+CFQ scheme needs from its owning port, beyond
+    :class:`repro.network.queueing.PortHost`."""
+
+    pool: BufferPool
+    params: CCParams
+    name: str
+
+    def route(self, pkt: Packet) -> int: ...
+
+    def kick(self) -> None: ...
+
+    def now(self) -> float:
+        """Current simulation time."""
+
+    def schedule(self, delay: float, fn) -> None:
+        """Run ``fn()`` after ``delay`` ns (for dealloc hysteresis)."""
+
+    def send_upstream(self, msg: ControlMessage) -> None:
+        """Forward a tree-protocol message towards the traffic source.
+        No-op at input adapters (there is nothing above the AdVOQs)."""
+
+    def announced_tree(self, dest: int) -> Optional[OutputCamLine]:
+        """The downstream-announced congestion tree for ``dest``
+        relevant to this port (the output CAM line at the switch, the
+        IA's announcement record), or None."""
+
+    def root_cfq_hot_changed(self, dest: int, hot: bool) -> None:
+        """CCFIT congestion-state hook: a root CFQ crossed High/Low."""
+
+
+class NfqCfqScheme(QueueScheme):
+    """One NFQ plus ``params.num_cfqs`` dynamically allocated CFQs.
+
+    Parameters
+    ----------
+    host:
+        The owning input port / IA output stage.
+    drive_congestion_state:
+        True only for CCFIT switches: root CFQs crossing the High/Low
+        thresholds move the output port in/out of the congestion state.
+        False for plain FBICM (no marking) and for input adapters.
+    """
+
+    def __init__(self, host: IsolationHost, drive_congestion_state: bool) -> None:
+        super().__init__(host)
+        self.drive_congestion_state = drive_congestion_state
+        self.nfq = PacketQueue(f"{host.name}.nfq", track_dests=True)
+        self.cfqs = [
+            PacketQueue(f"{host.name}.cfq{i}") for i in range(host.params.num_cfqs)
+        ]
+        self.cam = InputCam(host.params.num_cfqs)
+        self._queues = [self.nfq, *self.cfqs]
+        self._in_update = False
+        self._lifetime_recheck: set[int] = set()
+        #: cfq_index -> the CamLine awaiting its congestion-state dwell.
+        self._hot_pending: dict[int, CamLine] = {}
+        self.moves = 0
+
+    # ------------------------------------------------------------------
+    # QueueScheme interface
+    # ------------------------------------------------------------------
+    def on_arrival(self, pkt: Packet) -> None:
+        self.nfq.push(pkt)
+        self.update()
+        self.host.kick()
+
+    def after_dequeue(self, queue: PacketQueue) -> None:
+        self.update()
+
+    def _build_heads(self) -> List[Tuple[PacketQueue, int, Packet]]:
+        out: List[Tuple[PacketQueue, int, Packet]] = []
+        head = self.nfq.head()
+        if head is not None:
+            # A congested head that post-processing could not isolate
+            # (CAM full) is forwarded anyway — blocking it forever would
+            # deadlock the lossless network.  That is exactly FBICM's
+            # out-of-resources mode: HoL blocking returns, and the miss
+            # is visible in ``self.cam.alloc_failures``.
+            out.append((self.nfq, self.host.route(head), head))
+        for line in self.cam.lines():
+            if line.stopped:
+                continue
+            chead = self.cfqs[line.cfq_index].head()
+            if chead is not None:
+                out.append((self.cfqs[line.cfq_index], self.host.route(chead), chead))
+        return out
+
+    # ------------------------------------------------------------------
+    # tree-protocol inputs (called by the switch / IA)
+    # ------------------------------------------------------------------
+    def tree_stopped(self, dest: int, stopped: bool) -> None:
+        """Downstream Stop/Go for the tree towards ``dest``."""
+        line = self.cam.lookup(dest)
+        if line is None:
+            return  # raced with our own deallocation — benign
+        line.stopped = stopped
+        self.invalidate_heads()
+        if stopped:
+            # A true root's downstream is the congested point itself,
+            # which never sends Stop — so this line cannot be the root
+            # (the IB "port has credits to forward" root condition).
+            self._demote_root(line)
+        else:
+            self.update()
+            self.host.kick()
+
+    def tree_orphaned(self, dest: int) -> None:
+        """The downstream tree for ``dest`` deallocated: non-root lines
+        stop capturing packets and free themselves once drained."""
+        line = self.cam.lookup(dest)
+        if line is None or line.root:
+            return
+        line.orphaned = True
+        line.stopped = False  # a dead tree cannot hold us stopped
+        self.update()
+        self.host.kick()
+
+    def on_tree_announced(self) -> None:
+        """A new output-CAM line appeared: re-run post-processing, and
+        demote any local "root" line for a tree that downstream has now
+        announced (the real root is closer to the congested point)."""
+        for line in self.cam.lines():
+            if line.root and self.host.announced_tree(line.dest) is not None:
+                self._demote_root(line)
+        self.update()
+        self.host.kick()
+
+    def _demote_root(self, line: CamLine) -> None:
+        if not line.root:
+            return
+        line.root = False
+        if self._hot_pending.get(line.cfq_index) is line:
+            del self._hot_pending[line.cfq_index]
+        if line.hot:
+            line.hot = False
+            line.last_hot_at = self.host.now()
+            self.host.root_cfq_hot_changed(line.dest, False)
+
+    # ------------------------------------------------------------------
+    # the state machine (idempotent; run after every mutation)
+    # ------------------------------------------------------------------
+    def update(self) -> None:
+        if self._in_update:
+            return
+        self._in_update = True
+        try:
+            changed = True
+            while changed:
+                changed = self._post_process() | self._detect()
+            self._check_thresholds()
+        finally:
+            self._in_update = False
+            self.invalidate_heads()
+
+    # -- step 1: move congested heads out of the NFQ ----------------------
+    def _post_process(self) -> bool:
+        moved = False
+        while True:
+            head = self.nfq.head()
+            if head is None:
+                break
+            line = self._line_for(head)
+            if line is None:
+                line = self._maybe_adopt_announced(head)
+            if line is None:
+                break
+            self.nfq.pop()
+            self.cfqs[line.cfq_index].push(head)
+            self.moves += 1
+            moved = True
+        return moved
+
+    def _line_for(self, pkt: Packet) -> Optional[CamLine]:
+        line = self.cam.lookup(pkt.dst)
+        if line is not None and not line.orphaned:
+            return line
+        return None
+
+    def _maybe_adopt_announced(self, pkt: Packet) -> Optional[CamLine]:
+        """Allocate a non-root CFQ for a tree announced from downstream.
+
+        If an *orphaned* line for the destination is still draining,
+        the announcement revives it (a CAM hit on the destination) —
+        one destination never occupies two CFQs."""
+        rec = self.host.announced_tree(pkt.dst)
+        if rec is None:
+            return None
+        line = self.cam.lookup(pkt.dst)
+        if line is not None:
+            line.orphaned = False
+            line.stopped = rec.stopped
+            return line
+        line = self.cam.allocate(pkt.dst, root=False, now=self.host.now())
+        if line is not None:
+            line.stopped = rec.stopped
+        return line
+
+    # -- step 2: local congestion detection --------------------------------
+    def _detect(self) -> bool:
+        if self.host.params.num_cfqs == 0:
+            return False
+        if self.nfq.bytes < self.host.params.detection_threshold:
+            return False  # cheap bound: untracked <= total NFQ bytes
+        if self.cam.full and not any(ln.orphaned for ln in self.cam.lines()):
+            # Every CFQ is holding a live tree: no allocation (nor
+            # orphan revival) is possible, so skip the occupancy scan.
+            # This is the port's saturated steady state on the 64-node
+            # runs, so the early-out matters for simulation speed.
+            self.cam.alloc_failures += 1
+            return False
+        if self._untracked_nfq_bytes() < self.host.params.detection_threshold:
+            return False
+        dest = self._blame_destination()
+        if dest is None:
+            return False
+        existing = self.cam.lookup(dest)
+        if existing is not None:
+            if existing.orphaned:
+                # Fresh local congestion for a tree that was tearing
+                # down: revive the draining line as a root.
+                existing.orphaned = False
+                existing.root = True
+                return True
+            return False
+        # The tree is only rooted here if downstream has not announced
+        # it (a root CFQ's downstream is the congested point itself).
+        rec = self.host.announced_tree(dest)
+        line = self.cam.allocate(dest, root=rec is None, now=self.host.now())
+        if line is None:
+            return False  # out of CFQs — the Fig. 8 scalability wall
+        if rec is not None:
+            line.stopped = rec.stopped
+        return True
+
+    def _untracked_nfq_bytes(self) -> int:
+        """NFQ bytes not already belonging to a live congestion tree.
+
+        Packets whose destination has a live CAM line are merely
+        waiting for the head-granular post-processing to file them into
+        their CFQ — they are *tracked* congestion, and counting them
+        towards a new detection would blame an innocent bystander
+        destination for a backlog that is not its doing.  Uses the
+        queue's incremental per-destination counters (O(#CFQs))."""
+        tracked = 0
+        dest_bytes = self.nfq.dest_bytes
+        for ln in self.cam.lines():
+            if not ln.orphaned:
+                tracked += dest_bytes.get(ln.dest, 0)
+        return self.nfq.bytes - tracked
+
+    def _blame_destination(self) -> Optional[int]:
+        """Which destination a detection holds responsible (see
+        ``CCParams.detection_policy``).  Destinations already tracked by
+        a live CAM line are skipped — their packets are not the ones
+        clogging the NFQ head-of-line."""
+        if self.host.params.detection_policy == "head":
+            head = self.nfq.head()
+            return None if head is None else head.dst
+        best = None
+        best_bytes = 0
+        lookup = self.cam.lookup
+        for dst, nbytes in self.nfq.dest_bytes.items():
+            line = lookup(dst)
+            if line is not None and not line.orphaned:
+                continue
+            # max bytes; ties broken by destination id for determinism.
+            if nbytes > best_bytes or (nbytes == best_bytes and best is not None and dst < best):
+                best = dst
+                best_bytes = nbytes
+        return best
+
+    # -- step 3: per-CFQ thresholds (propagate / stop / go / hot / free) ---
+    def _check_thresholds(self) -> None:
+        p = self.host.params
+        for line in self.cam.lines():
+            occ = self.cfqs[line.cfq_index].bytes
+            if not line.propagated and occ >= p.propagation_threshold and not line.orphaned:
+                line.propagated = True
+                self.host.send_upstream(CfqAlloc(line.dest, id(line)))
+            if not line.stop_sent and occ >= p.cfq_stop:
+                if not line.propagated:
+                    line.propagated = True
+                    self.host.send_upstream(CfqAlloc(line.dest, id(line)))
+                line.stop_sent = True
+                self.host.send_upstream(CfqStop(line.dest, id(line)))
+            elif line.stop_sent and occ <= p.cfq_go:
+                line.stop_sent = False
+                self.host.send_upstream(CfqGo(line.dest, id(line)))
+            if self.drive_congestion_state and line.root:
+                if not line.hot and occ >= p.cfq_high:
+                    self._arm_hot(line)
+                elif line.hot and occ <= p.cfq_cs_exit:
+                    # leave the congestion state with backlog still in
+                    # the Go band (the link keeps draining the tree
+                    # while the sources' CCTIs decay)
+                    line.hot = False
+                    line.last_hot_at = self.host.now()
+                    self.host.root_cfq_hot_changed(line.dest, False)
+                elif occ <= p.cfq_low:
+                    # a pending dwell only survives genuine standing
+                    # congestion; full drainage disarms it
+                    self._hot_pending.pop(line.cfq_index, None)
+            self._maybe_deallocate(line)
+
+    def _arm_hot(self, line: CamLine) -> None:
+        """Start the congestion-state dwell for a root CFQ above High.
+
+        The port only enters the congestion state if the CFQ is *still*
+        above High (and the line still alive and root) after
+        ``cfq_high_dwell`` — transient bursts drain before the timer
+        fires, so victim flows are not marked (DESIGN.md §5)."""
+        idx = line.cfq_index
+        if self._hot_pending.get(idx) is line:
+            return
+        p = self.host.params
+        dwell = p.cfq_high_dwell
+        recently_hot = (
+            self.host.now() - line.last_hot_at <= p.cfq_rearm_window
+        )
+        if dwell <= 0.0 or recently_hot:
+            # the dwell filters victim transients; a line that recently
+            # proved to be a genuine root re-enters immediately, so
+            # sustained congestion marks continuously instead of once
+            # per Stop/Go saw
+            line.hot = True
+            line.last_hot_at = self.host.now()
+            self.host.root_cfq_hot_changed(line.dest, True)
+            return
+        self._hot_pending[idx] = line
+
+        def confirm() -> None:
+            # The arm survives unless the CFQ drained to Low meanwhile
+            # (which cancels the pending entry): a true congestion root
+            # saw-tooths between Go and Stop without ever emptying,
+            # while a victim's transient burst drains right through Low.
+            if self._hot_pending.get(idx) is not line:
+                return
+            del self._hot_pending[idx]
+            still = self.cam.line_at(idx)
+            if (
+                still is line
+                and line.root
+                and not line.hot
+                and self.cfqs[idx].bytes > self.host.params.cfq_low
+            ):
+                line.hot = True
+                line.last_hot_at = self.host.now()
+                self.host.root_cfq_hot_changed(line.dest, True)
+
+        self.host.schedule(dwell, confirm)
+
+    def _maybe_deallocate(self, line: CamLine) -> None:
+        p = self.host.params
+        if not self.cfqs[line.cfq_index].empty or line.stopped:
+            return
+        # Hysteresis: young CFQs wait out cfq_min_lifetime before
+        # deallocating (the 1 ns slack absorbs float rounding of the
+        # recheck's wake-up time).
+        remaining = p.cfq_min_lifetime - (self.host.now() - line.allocated_at)
+        if remaining > 1.0 and not line.orphaned:
+            if line.cfq_index not in self._lifetime_recheck:
+                self._lifetime_recheck.add(line.cfq_index)
+                idx = line.cfq_index
+
+                def recheck() -> None:
+                    self._lifetime_recheck.discard(idx)
+                    self.update()
+
+                self.host.schedule(remaining, recheck)
+            return
+        if self._hot_pending.get(line.cfq_index) is line:
+            del self._hot_pending[line.cfq_index]
+        if line.hot:
+            line.hot = False
+            line.last_hot_at = self.host.now()
+            self.host.root_cfq_hot_changed(line.dest, False)
+        if line.stop_sent:
+            line.stop_sent = False
+            self.host.send_upstream(CfqGo(line.dest, id(line)))
+        if line.propagated:
+            self.host.send_upstream(CfqDealloc(line.dest, id(line)))
+        self.cam.free(line)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def allocated_cfqs(self) -> int:
+        return len(self.cam.lines())
+
+    def cfq_occupancy(self, dest: int) -> int:
+        line = self.cam.lookup(dest)
+        return 0 if line is None else self.cfqs[line.cfq_index].bytes

@@ -1,0 +1,38 @@
+"""The paper's evaluation, reproducible end to end.
+
+* :mod:`repro.experiments.configs` — Table I as code: the three network
+  configurations with their topologies, bandwidths and memories.
+* :mod:`repro.experiments.runner` — one entry point per figure
+  (Fig. 7a/7b/7c, Fig. 8a/8b/8c, Fig. 9, Fig. 10), each returning the
+  series/values the paper plots.
+* :mod:`repro.experiments.report` — ASCII rendering used by the
+  benchmark harness and EXPERIMENTS.md regeneration.
+"""
+
+from repro.experiments.configs import CONFIG1, CONFIG2, CONFIG3, NetworkConfig, table1
+from repro.experiments.runner import (
+    run_case1,
+    run_case2,
+    run_case3,
+    run_case4,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+
+__all__ = [
+    "CONFIG1",
+    "CONFIG2",
+    "CONFIG3",
+    "NetworkConfig",
+    "table1",
+    "run_case1",
+    "run_case2",
+    "run_case3",
+    "run_case4",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+]

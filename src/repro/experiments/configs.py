@@ -1,0 +1,116 @@
+"""Table I — the evaluated interconnection network configurations.
+
+===================  ================  =====================  ==============
+                     Config #1         Config #2              Config #3
+===================  ================  =====================  ==============
+# Nodes              7                 8                      64
+Topology             Ad-hoc (Fig. 5)   2-ary 3-tree (Fig. 6)  4-ary 3-tree
+# Switches           2                 12                     48
+Crossbar BW          5 GB/s            2.5 GB/s               2.5 GB/s
+Switching            virtual cut-through (packet-grain, see DESIGN.md)
+Scheduling           iSlip
+Packet MTU           2048 B
+Memory size          64 KiB / input port
+Link bandwidth       2.5 & 5 GB/s      2.5 GB/s               2.5 GB/s
+Flow control         credit-based
+Routing              deterministic (DET) / table-based
+===================  ================  =====================  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.core.params import CCParams
+from repro.network.topology import Topology, config1_adhoc, k_ary_n_tree
+
+__all__ = ["NetworkConfig", "CONFIG1", "CONFIG2", "CONFIG3", "table1"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One column of Table I."""
+
+    name: str
+    build: Callable[[], Topology] = field(repr=False)
+    num_nodes: int = 0
+    num_switches: int = 0
+    topology: str = ""
+    crossbar_bw: float = 2.5
+    link_bandwidths: tuple = (2.5,)
+    mtu: int = 2048
+    memory_size: int = 64 * 1024
+
+    def topo(self) -> Topology:
+        return self.build()
+
+    def params(self, **overrides) -> CCParams:
+        p = CCParams(mtu=self.mtu, memory_size=self.memory_size, **overrides)
+        p.validate()
+        return p
+
+    def check(self) -> None:
+        """Assert the built topology matches this Table I column."""
+        topo = self.topo()
+        assert topo.num_nodes == self.num_nodes, topo.num_nodes
+        assert topo.num_switches == self.num_switches, topo.num_switches
+        assert topo.effective_crossbar_bw() == self.crossbar_bw
+        bws = {bw for (_s, _p, bw) in topo.node_attach.values()}
+        bws |= {bw for (*_x, bw) in topo.switch_links}
+        assert bws == set(self.link_bandwidths), bws
+        topo.validate()
+
+
+CONFIG1 = NetworkConfig(
+    name="Config #1",
+    build=config1_adhoc,
+    num_nodes=7,
+    num_switches=2,
+    topology="Ad-hoc (Fig. 5)",
+    crossbar_bw=5.0,
+    link_bandwidths=(2.5, 5.0),
+)
+
+CONFIG2 = NetworkConfig(
+    name="Config #2",
+    build=lambda: k_ary_n_tree(2, 3),
+    num_nodes=8,
+    num_switches=12,
+    topology="2-ary 3-tree (Fig. 6)",
+    crossbar_bw=2.5,
+    link_bandwidths=(2.5,),
+)
+
+CONFIG3 = NetworkConfig(
+    name="Config #3",
+    build=lambda: k_ary_n_tree(4, 3),
+    num_nodes=64,
+    num_switches=48,
+    topology="4-ary 3-tree",
+    crossbar_bw=2.5,
+    link_bandwidths=(2.5,),
+)
+
+
+def table1() -> List[Dict[str, object]]:
+    """Table I as rows (used by the bench that regenerates it)."""
+    rows = []
+    for cfg in (CONFIG1, CONFIG2, CONFIG3):
+        rows.append(
+            {
+                "config": cfg.name,
+                "nodes": cfg.num_nodes,
+                "topology": cfg.topology,
+                "switches": cfg.num_switches,
+                "crossbar_bw_gbs": cfg.crossbar_bw,
+                "link_bw_gbs": "/".join(str(b) for b in cfg.link_bandwidths),
+                "mtu_bytes": cfg.mtu,
+                "memory_bytes": cfg.memory_size,
+                "switching": "virtual cut-through (packet grain)",
+                "scheduling": "iSlip",
+                "flow_control": "credit-based",
+                "routing": "deterministic (DET), table-based",
+            }
+        )
+    return rows

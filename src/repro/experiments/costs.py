@@ -1,0 +1,94 @@
+"""Hardware-cost accounting for the evaluated schemes.
+
+The paper's argument for CCFIT is partly economic: VOQnet "is actually
+almost unfeasible" (per-port memory grows with the network), while
+CCFIT needs one NFQ, two CFQs and a small CAM per port.  This module
+computes, for any scheme and network configuration, the per-port and
+total queue/memory/CAM budget — the quantities behind §IV-A's memory
+discussion (e.g. VOQnet's 256 KiB ports on the 64-node network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.ccfit import SCHEMES
+from repro.core.params import CCParams
+from repro.network.topology import Topology
+
+__all__ = ["SchemeCost", "scheme_cost", "cost_table"]
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Per-input-port and fabric-wide hardware budget of one scheme."""
+
+    scheme: str
+    queues_per_port: int
+    memory_per_port: int
+    cam_lines_per_port: int
+    #: output-port CAM lines (FBICM/CCFIT propagate through them).
+    out_cam_lines_per_port: int
+    total_ports: int
+    total_memory: int
+
+    @property
+    def memory_per_port_kib(self) -> float:
+        return self.memory_per_port / 1024
+
+    @property
+    def total_memory_mib(self) -> float:
+        return self.total_memory / (1024 * 1024)
+
+
+def scheme_cost(scheme: str, topo: Topology, params: CCParams = None) -> SchemeCost:  # type: ignore[assignment]
+    """Compute the switch buffer/CAM budget of ``scheme`` on ``topo``."""
+    if scheme not in SCHEMES:
+        raise KeyError(f"unknown scheme {scheme!r}")
+    params = params if params is not None else CCParams()
+    spec = SCHEMES[scheme]
+    n = topo.num_nodes
+    memory = spec.memory_override(params, n)
+
+    max_radix = max(s.num_ports for s in topo.switches)
+    if scheme == "1Q":
+        queues, cam, out_cam = 1, 0, 0
+    elif scheme in ("VOQsw", "ITh"):
+        queues, cam, out_cam = min(params.num_voqs, max_radix), 0, 0
+    elif scheme == "DBBM":
+        queues, cam, out_cam = params.num_voqs, 0, 0
+    elif scheme == "VOQnet":
+        queues, cam, out_cam = n, 0, 0
+    else:  # FBICM, CCFIT
+        queues = 1 + params.num_cfqs
+        cam = params.num_cfqs
+        out_cam = params.num_cfqs
+
+    total_ports = sum(s.num_ports for s in topo.switches)
+    return SchemeCost(
+        scheme=scheme,
+        queues_per_port=queues,
+        memory_per_port=memory,
+        cam_lines_per_port=cam,
+        out_cam_lines_per_port=out_cam,
+        total_ports=total_ports,
+        total_memory=memory * total_ports,
+    )
+
+
+def cost_table(topo: Topology, params: CCParams = None) -> List[Dict[str, object]]:  # type: ignore[assignment]
+    """One row per scheme — the §IV-A memory-cost comparison."""
+    rows = []
+    for scheme in SCHEMES:
+        c = scheme_cost(scheme, topo, params)
+        rows.append(
+            {
+                "scheme": c.scheme,
+                "queues/port": c.queues_per_port,
+                "CAM lines/port": c.cam_lines_per_port or "-",
+                "memory/port KiB": f"{c.memory_per_port_kib:.0f}",
+                "fabric memory MiB": f"{c.total_memory_mib:.1f}",
+            }
+        )
+    return rows

@@ -1,0 +1,86 @@
+"""ASCII rendering of experiment results.
+
+The benchmark harness prints, for every figure, the same rows/series
+the paper plots; EXPERIMENTS.md embeds these tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import CaseResult
+
+__all__ = ["render_table", "render_series", "render_flow_table", "render_fig8_summary"]
+
+
+def render_table(rows: List[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Generic list-of-dicts → aligned ASCII table."""
+    if not rows:
+        return "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in cols}
+    head = " | ".join(str(c).ljust(widths[c]) for c in cols)
+    sep = "-+-".join("-" * widths[c] for c in cols)
+    body = [
+        " | ".join(str(r.get(c, "")).ljust(widths[c]) for c in cols) for r in rows
+    ]
+    return "\n".join([head, sep, *body])
+
+
+def render_series(
+    results: Dict[str, CaseResult],
+    stride: int = 1,
+    label: str = "throughput (GB/s)",
+) -> str:
+    """Throughput-vs-time, one row per scheme (Figs. 7 and 8)."""
+    lines = [f"-- {label}; columns are bin mid-times (ms) --"]
+    first = next(iter(results.values()))
+    times = first.throughput[0][::stride] / 1e6
+    lines.append("t(ms)   " + " ".join(f"{t:6.2f}" for t in times))
+    for scheme, res in results.items():
+        rates = res.throughput[1][::stride]
+        lines.append(f"{scheme:7s} " + " ".join(f"{r:6.1f}" for r in rates))
+    return "\n".join(lines)
+
+
+def render_flow_table(
+    results: Dict[str, CaseResult], flows: Iterable[str]
+) -> str:
+    """Per-flow steady-window bandwidth, one row per scheme (Figs. 9/10)."""
+    flows = list(flows)
+    rows = []
+    for scheme, res in results.items():
+        row = {"scheme": scheme}
+        for f in flows:
+            row[f] = f"{res.flow_bandwidth.get(f, 0.0):.3f}"
+        row["jain"] = f"{res.fairness(flows):.3f}"
+        rows.append(row)
+    return render_table(rows, columns=["scheme", *flows, "jain"])
+
+
+def render_fig8_summary(results: Dict[str, CaseResult]) -> str:
+    """Burst-window mean / post-burst recovery summary for Fig. 8."""
+    rows = []
+    for scheme, res in results.items():
+        t0, t1 = res.window
+        rows.append(
+            {
+                "scheme": scheme,
+                "pre-burst": f"{res.mean_throughput(0.2 * t0, t0):.1f}",
+                "burst": f"{res.mean_throughput(t0, t1):.1f}",
+                "post-burst": f"{res.mean_throughput(t1, res.duration):.1f}",
+                "cam_failures": int(res.stats.get("cfq_alloc_failures", 0)),
+                "becns": int(res.stats.get("becns_received", 0)),
+            }
+        )
+    return render_table(rows)
+
+
+def series_checksum(results: Dict[str, CaseResult]) -> float:
+    """A scalar the benchmark harness can assert on / track."""
+    total = 0.0
+    for res in results.values():
+        total += float(np.sum(res.throughput[1]))
+    return total

@@ -1,0 +1,254 @@
+"""Figure runners: regenerate every curve of §IV.
+
+Each ``run_*`` function builds the right fabric+workload, simulates,
+and returns a :class:`CaseResult` per scheme carrying exactly what the
+corresponding figure plots (network-throughput series for Fig. 7/8,
+per-flow bandwidth series for Fig. 9/10) plus the aggregates the
+shape tests and EXPERIMENTS.md assert on.
+
+``time_scale`` shrinks the paper's 10 ms windows proportionally — the
+benches run at 0.15–0.3x to stay fast; EXPERIMENTS.md records 1.0x
+runs.  All runs are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.params import CCParams
+from repro.experiments.configs import CONFIG1, CONFIG2, CONFIG3
+from repro.metrics.analysis import jain_index
+from repro.network.fabric import Fabric, build_fabric
+from repro.traffic.flows import attach_traffic
+from repro.traffic.patterns import (
+    MS,
+    case1_flows,
+    case2_flows,
+    case3_traffic,
+    case4_traffic,
+)
+
+__all__ = [
+    "CaseResult",
+    "run_case1",
+    "run_case2",
+    "run_case3",
+    "run_case4",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "PAPER_SCHEMES",
+    "FIG8_SCHEMES",
+]
+
+#: the schemes of Figs. 7, 9 and 10.
+PAPER_SCHEMES = ("1Q", "ITh", "FBICM", "CCFIT")
+#: Fig. 8 adds the VOQnet upper bound.
+FIG8_SCHEMES = ("1Q", "ITh", "FBICM", "CCFIT", "VOQnet")
+
+
+@dataclass
+class CaseResult:
+    """Everything one simulated scheme contributes to a figure."""
+
+    scheme: str
+    duration: float
+    #: (bin mid-times ns, delivered GB/s).
+    throughput: Tuple[np.ndarray, np.ndarray]
+    #: flow name -> (times, GB/s) series.
+    flow_series: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    #: flow name -> mean GB/s over the steady tail window.
+    flow_bandwidth: Dict[str, float] = field(default_factory=dict)
+    #: aggregate counters from Fabric.stats().
+    stats: Dict[str, float] = field(default_factory=dict)
+    #: the tail measurement window (ns).
+    window: Tuple[float, float] = (0.0, 0.0)
+
+    def mean_throughput(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        times, rates = self.throughput
+        lo = self.window[0] if t0 is None else t0
+        hi = self.window[1] if t1 is None else t1
+        mask = (times >= lo) & (times < hi)
+        return float(rates[mask].mean()) if mask.any() else 0.0
+
+    def fairness(self, flows: Iterable[str]) -> float:
+        return jain_index([self.flow_bandwidth.get(f, 0.0) for f in flows])
+
+
+def _run(
+    config,
+    scheme: str,
+    flows,
+    uniform,
+    duration: float,
+    window: Tuple[float, float],
+    seed: int,
+    params: Optional[CCParams],
+    bin_ns: float,
+) -> CaseResult:
+    from repro.metrics.collector import Collector
+
+    fabric: Fabric = build_fabric(
+        config.topo(),
+        scheme=scheme,
+        params=params,
+        seed=seed,
+        collector=Collector(bin_ns=bin_ns),
+    )
+    attach_traffic(fabric, flows=flows, uniform=uniform)
+    fabric.run(until=duration)
+    c = fabric.collector
+    result = CaseResult(
+        scheme=scheme,
+        duration=duration,
+        throughput=c.throughput_series(duration),
+        stats=fabric.stats(),
+        window=window,
+    )
+    for spec in flows:
+        result.flow_series[spec.name] = c.flow_series(spec.name, duration)
+        result.flow_bandwidth[spec.name] = c.flow_bandwidth(spec.name, *window)
+    return result
+
+
+def run_case1(
+    scheme: str,
+    time_scale: float = 1.0,
+    seed: int = 1,
+    params: Optional[CCParams] = None,
+) -> CaseResult:
+    """Config #1, Traffic Case #1 (Figs. 7a and 9)."""
+    duration = 10 * MS * time_scale
+    return _run(
+        CONFIG1,
+        scheme,
+        case1_flows(time_scale=time_scale),
+        [],
+        duration,
+        window=(0.8 * duration, duration),
+        seed=seed,
+        params=params,
+        bin_ns=max(10_000.0, 100_000.0 * time_scale),
+    )
+
+
+def run_case2(
+    scheme: str,
+    time_scale: float = 1.0,
+    seed: int = 1,
+    params: Optional[CCParams] = None,
+) -> CaseResult:
+    """Config #2, Traffic Case #2 (Figs. 7b and 10)."""
+    duration = 10 * MS * time_scale
+    return _run(
+        CONFIG2,
+        scheme,
+        case2_flows(time_scale=time_scale),
+        [],
+        duration,
+        window=(0.8 * duration, duration),
+        seed=seed,
+        params=params,
+        bin_ns=max(10_000.0, 100_000.0 * time_scale),
+    )
+
+
+def run_case3(
+    scheme: str,
+    time_scale: float = 1.0,
+    seed: int = 1,
+    params: Optional[CCParams] = None,
+) -> CaseResult:
+    """Config #2, Traffic Case #3 = Case #2 plus uniform noise (Fig. 7c)."""
+    duration = 10 * MS * time_scale
+    flows, uniform = case3_traffic(time_scale=time_scale)
+    return _run(
+        CONFIG2,
+        scheme,
+        flows,
+        uniform,
+        duration,
+        window=(0.8 * duration, duration),
+        seed=seed,
+        params=params,
+        bin_ns=max(10_000.0, 100_000.0 * time_scale),
+    )
+
+
+def run_case4(
+    scheme: str,
+    num_trees: int,
+    time_scale: float = 1.0,
+    seed: int = 1,
+    params: Optional[CCParams] = None,
+    duration_ms: float = 3.0,
+) -> CaseResult:
+    """Config #3, Traffic Case #4: the Fig. 8 scalability probe.
+
+    The hotspot burst occupies [1 ms, 2 ms] (scaled); the run extends
+    to ``duration_ms`` to observe the recovery.  The tail window for
+    aggregates is the burst window itself (where the schemes differ).
+    """
+    duration = duration_ms * MS * time_scale
+    flows, uniform = case4_traffic(num_trees=num_trees, time_scale=time_scale)
+    return _run(
+        CONFIG3,
+        scheme,
+        flows,
+        uniform,
+        duration,
+        window=(1.0 * MS * time_scale, 2.0 * MS * time_scale),
+        seed=seed,
+        params=params,
+        bin_ns=max(20_000.0, 100_000.0 * time_scale),
+    )
+
+
+# ----------------------------------------------------------------------
+# figure-level drivers
+# ----------------------------------------------------------------------
+def run_fig7(
+    panel: str,
+    schemes: Iterable[str] = PAPER_SCHEMES,
+    time_scale: float = 1.0,
+    seed: int = 1,
+) -> Dict[str, CaseResult]:
+    """Throughput-vs-time curves of Fig. 7 (panel 'a', 'b' or 'c')."""
+    runner = {"a": run_case1, "b": run_case2, "c": run_case3}[panel]
+    return {s: runner(s, time_scale=time_scale, seed=seed) for s in schemes}
+
+
+def run_fig8(
+    num_trees: int,
+    schemes: Iterable[str] = FIG8_SCHEMES,
+    time_scale: float = 1.0,
+    seed: int = 1,
+) -> Dict[str, CaseResult]:
+    """Fig. 8: Config #3 under 1 (a), 4 (b) or 6 (c) congestion trees."""
+    return {
+        s: run_case4(s, num_trees=num_trees, time_scale=time_scale, seed=seed)
+        for s in schemes
+    }
+
+
+def run_fig9(
+    schemes: Iterable[str] = PAPER_SCHEMES,
+    time_scale: float = 1.0,
+    seed: int = 1,
+) -> Dict[str, CaseResult]:
+    """Fig. 9: per-flow bandwidth on Config #1 / Case #1 (one panel per
+    scheme; the paper shows 1Q/ITh/FBICM and discusses CCFIT)."""
+    return {s: run_case1(s, time_scale=time_scale, seed=seed) for s in schemes}
+
+
+def run_fig10(
+    schemes: Iterable[str] = PAPER_SCHEMES,
+    time_scale: float = 1.0,
+    seed: int = 1,
+) -> Dict[str, CaseResult]:
+    """Fig. 10: per-flow bandwidth on Config #2 / Case #2."""
+    return {s: run_case2(s, time_scale=time_scale, seed=seed) for s in schemes}

@@ -1,0 +1,22 @@
+"""Measurement: time-binned per-flow bandwidth, network throughput,
+fairness indices, and curve-shape analysis utilities used to compare
+our runs against the paper's figures."""
+
+from repro.metrics.collector import Collector
+from repro.metrics.analysis import (
+    jain_index,
+    mean_in_window,
+    oscillation_score,
+    series_mean,
+)
+from repro.metrics.trace import ProtocolTrace, TraceEvent
+
+__all__ = [
+    "Collector",
+    "jain_index",
+    "mean_in_window",
+    "oscillation_score",
+    "series_mean",
+    "ProtocolTrace",
+    "TraceEvent",
+]

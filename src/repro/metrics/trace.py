@@ -1,0 +1,203 @@
+"""Structured tracing of congestion-control protocol events.
+
+A :class:`ProtocolTrace` records the CC state machine's decisions —
+detections, CFQ allocations/deallocations, Stop/Go transitions,
+congestion-state entries, FECN marks, BECN receipts, throttle steps —
+as timestamped structured events.  Attach one to a fabric to debug a
+scenario or to analyse protocol dynamics (reaction latencies, tree
+lifetimes) quantitatively:
+
+    trace = ProtocolTrace()
+    fabric = build_fabric(topo, scheme="CCFIT", seed=1)
+    trace.attach(fabric)
+    ...
+    fabric.run(until=...)
+    for ev in trace.query(kind="detect"):
+        print(ev)
+    print(trace.tree_lifetimes())
+
+Tracing is entirely optional and costs nothing unless attached (it
+wraps the relevant methods at attach time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = ["TraceEvent", "ProtocolTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol decision."""
+
+    time: float
+    kind: str
+    where: str
+    dest: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        d = f" dest={self.dest}" if self.dest is not None else ""
+        info = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time / 1e3:10.2f} us] {self.kind:10s} {self.where}{d}{info}"
+
+
+class ProtocolTrace:
+    """Event recorder; attach to a fabric before running it."""
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        self.events: List[TraceEvent] = []
+        self.limit = limit
+        self._fabric = None
+
+    # ------------------------------------------------------------------
+    def attach(self, fabric) -> "ProtocolTrace":
+        """Instrument every isolation scheme, marker and throttle state
+        of ``fabric``.  Call once, before running."""
+        from repro.core.isolation import NfqCfqScheme
+
+        if self._fabric is not None:
+            raise RuntimeError("trace already attached")
+        self._fabric = fabric
+        sim = fabric.sim
+
+        def record(kind: str, where: str, dest=None, detail="") -> None:
+            if len(self.events) < self.limit:
+                self.events.append(TraceEvent(sim.now, kind, where, dest, detail))
+
+        for sw in fabric.switches:
+            for port in sw.input_ports:
+                scheme = port.scheme
+                if isinstance(scheme, NfqCfqScheme):
+                    self._wrap_scheme(scheme, port.name, record)
+            self._wrap_marker(sw, record)
+        for node in fabric.nodes:
+            if node.throttle is not None:
+                self._wrap_throttle(node, record)
+        return self
+
+    # -- wrappers ----------------------------------------------------------
+    @staticmethod
+    def _wrap_scheme(scheme, name: str, record: Callable) -> None:
+        cam = scheme.cam
+        orig_alloc = cam.allocate
+        orig_free = cam.free
+
+        def allocate(dest, root, now):
+            line = orig_alloc(dest, root, now)
+            if line is None:
+                record("cam-full", name, dest)
+            else:
+                record("detect" if root else "adopt", name, dest,
+                       f"cfq{line.cfq_index}")
+            return line
+
+        def free(line):
+            record("dealloc", name, line.dest, f"cfq{line.cfq_index}")
+            return orig_free(line)
+
+        cam.allocate = allocate
+        cam.free = free
+
+        orig_stopped = scheme.tree_stopped
+
+        def tree_stopped(dest, stopped):
+            record("stop" if stopped else "go", name, dest)
+            return orig_stopped(dest, stopped)
+
+        scheme.tree_stopped = tree_stopped
+
+        orig_hot = scheme.host.root_cfq_hot_changed
+
+        def hot_changed(dest, hot):
+            record("cs-enter" if hot else "cs-exit", name, dest)
+            return orig_hot(dest, hot)
+
+        scheme.host.root_cfq_hot_changed = hot_changed
+
+    @staticmethod
+    def _wrap_marker(sw, record: Callable) -> None:
+        # FecnMarker is __slots__-ed; interpose a delegating proxy on
+        # the switch instead of patching the marker itself.
+        inner = sw.marker
+
+        class _MarkerProxy:
+            def maybe_mark(self, pkt):
+                marked = inner.maybe_mark(pkt)
+                if marked:
+                    record("fecn", sw.name, pkt.dst, pkt.flow)
+                return marked
+
+            def __getattr__(self, item):
+                return getattr(inner, item)
+
+        sw.marker = _MarkerProxy()
+
+    @staticmethod
+    def _wrap_throttle(node, record: Callable) -> None:
+        ts = node.throttle
+        orig = ts.on_becn
+
+        def on_becn(dest):
+            orig(dest)
+            record("becn", f"node{node.id}", dest, f"ccti={ts.ccti(dest)}")
+
+        ts.on_becn = on_becn
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        kind: Optional[str] = None,
+        dest: Optional[int] = None,
+        where: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Filter recorded events."""
+        out = self.events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if dest is not None:
+            out = [e for e in out if e.dest == dest]
+        if where is not None:
+            out = [e for e in out if e.where == where]
+        return list(out)
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def tree_lifetimes(self) -> List[Dict[str, float]]:
+        """Pair each CFQ allocation with its deallocation (per port and
+        destination): how long did each congestion tree hold resources?
+        Unclosed allocations (still live at the end) are omitted."""
+        open_allocs: Dict[tuple, float] = {}
+        lifetimes: List[Dict[str, float]] = []
+        for e in self.events:
+            key = (e.where, e.dest)
+            if e.kind in ("detect", "adopt"):
+                open_allocs.setdefault(key, e.time)
+            elif e.kind == "dealloc" and key in open_allocs:
+                start = open_allocs.pop(key)
+                lifetimes.append(
+                    {"where": e.where, "dest": e.dest, "start": start,
+                     "end": e.time, "lifetime": e.time - start}
+                )
+        return lifetimes
+
+    def reaction_latency(self, dest: int) -> Optional[float]:
+        """Time from the first detection of ``dest``'s tree to the
+        first BECN its sources received — the closed-loop reaction
+        time the paper contrasts ITh and CCFIT on."""
+        t_detect = next((e.time for e in self.events
+                         if e.kind == "detect" and e.dest == dest), None)
+        t_becn = next((e.time for e in self.events
+                       if e.kind == "becn" and e.dest == dest), None)
+        if t_detect is None or t_becn is None:
+            return None
+        return t_becn - t_detect

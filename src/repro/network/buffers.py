@@ -1,0 +1,149 @@
+"""Input-port RAM: shared buffer pool and packet queues.
+
+The evaluated switches are input-queued with one RAM per input port
+("Memory Size 64 KBytes", Table I), *dynamically organised in queues*
+(§III-A).  We model that RAM as a :class:`BufferPool` with byte-exact
+accounting, and each logical queue (NFQ, CFQ, VOQ, …) as a
+:class:`PacketQueue` drawing from the pool.
+
+The pool is the unit of credit-based link-level flow control: the
+upstream transmitter holds credits equal to the pool's free bytes, so
+the pool can never overflow — an invariant the test-suite checks both
+directly and via hypothesis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.network.packet import Packet
+
+__all__ = ["BufferPool", "PacketQueue", "BufferError"]
+
+
+class BufferError(RuntimeError):
+    """Raised when buffer accounting would be violated (a sim bug:
+    lossless flow control must make overflow impossible)."""
+
+
+class BufferPool:
+    """Byte-accounted shared RAM of one input port.
+
+    ``reserve``/``release`` are called by the owning port as packets
+    enter and leave.  Queues moving a packet among themselves (the CCFIT
+    post-processing NFQ→CFQ move) do not touch the pool: the packet
+    stays in the same RAM.
+    """
+
+    __slots__ = ("capacity", "used")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"pool capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.used = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def reserve(self, nbytes: int) -> None:
+        """Account ``nbytes`` as occupied.  Raises on overflow."""
+        if nbytes < 0:
+            raise BufferError(f"negative reserve {nbytes}")
+        if self.used + nbytes > self.capacity:
+            raise BufferError(
+                f"pool overflow: used={self.used} + {nbytes} > cap={self.capacity}"
+            )
+        self.used += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Account ``nbytes`` as freed.  Raises on underflow."""
+        if nbytes < 0:
+            raise BufferError(f"negative release {nbytes}")
+        if nbytes > self.used:
+            raise BufferError(
+                f"pool underflow: releasing {nbytes} with only {self.used} used"
+            )
+        self.used -= nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BufferPool {self.used}/{self.capacity}B>"
+
+
+class PacketQueue:
+    """FIFO of packets with byte and packet occupancy counters.
+
+    A queue optionally enforces its own byte cap (``max_bytes``) on top
+    of the shared pool — used by VOQnet, whose fixed per-destination
+    queues each get ``memory/num_destinations`` bytes.
+    """
+
+    __slots__ = ("name", "max_bytes", "_q", "bytes", "dest_bytes")
+
+    def __init__(
+        self, name: str, max_bytes: Optional[int] = None, track_dests: bool = False
+    ) -> None:
+        self.name = name
+        self.max_bytes = max_bytes
+        self._q: Deque[Packet] = deque()
+        self.bytes = 0
+        #: per-destination byte occupancy, maintained incrementally when
+        #: ``track_dests`` — the congestion-detection logic needs it on
+        #: every queue mutation, so scanning would be O(n) per event.
+        self.dest_bytes: Optional[dict[int, int]] = {} if track_dests else None
+
+    # -- state ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._q)
+
+    @property
+    def empty(self) -> bool:
+        return not self._q
+
+    def fits(self, nbytes: int) -> bool:
+        """Would a packet of ``nbytes`` respect this queue's own cap?"""
+        return self.max_bytes is None or self.bytes + nbytes <= self.max_bytes
+
+    # -- mutation ------------------------------------------------------
+    def push(self, pkt: Packet) -> None:
+        if not self.fits(pkt.size):
+            raise BufferError(
+                f"queue {self.name} overflow: {self.bytes}+{pkt.size} > {self.max_bytes}"
+            )
+        self._q.append(pkt)
+        self.bytes += pkt.size
+        if self.dest_bytes is not None:
+            self.dest_bytes[pkt.dst] = self.dest_bytes.get(pkt.dst, 0) + pkt.size
+
+    def push_front(self, pkt: Packet) -> None:
+        """Re-insert at the head (used only by unit tests and rollback)."""
+        if not self.fits(pkt.size):
+            raise BufferError(f"queue {self.name} overflow on push_front")
+        self._q.appendleft(pkt)
+        self.bytes += pkt.size
+        if self.dest_bytes is not None:
+            self.dest_bytes[pkt.dst] = self.dest_bytes.get(pkt.dst, 0) + pkt.size
+
+    def pop(self) -> Packet:
+        if not self._q:
+            raise BufferError(f"pop from empty queue {self.name}")
+        pkt = self._q.popleft()
+        self.bytes -= pkt.size
+        if self.dest_bytes is not None:
+            left = self.dest_bytes[pkt.dst] - pkt.size
+            if left:
+                self.dest_bytes[pkt.dst] = left
+            else:
+                del self.dest_bytes[pkt.dst]
+        return pkt
+
+    def head(self) -> Optional[Packet]:
+        return self._q[0] if self._q else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Q {self.name} n={len(self._q)} {self.bytes}B>"

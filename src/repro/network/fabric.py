@@ -1,0 +1,194 @@
+"""Fabric assembly: topology + scheme + parameters → a running network.
+
+:func:`build_fabric` instantiates switches, end nodes and links from a
+:class:`repro.network.topology.Topology`, wires every endpoint, and
+returns a :class:`Fabric` handle exposing the simulator, the devices,
+and aggregate statistics.  This is the main entry point of the public
+API::
+
+    from repro import build_fabric, k_ary_n_tree
+    fabric = build_fabric(k_ary_n_tree(2, 3), scheme="CCFIT", seed=1)
+    fabric.nodes[0].offer(...)        # or use repro.traffic generators
+    fabric.run(until=10e6)            # 10 ms
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.ccfit import SchemeSpec, scheme_params
+from repro.core.params import CCParams
+from repro.metrics.collector import Collector
+from repro.network.endnode import EndNode
+from repro.network.link import Link
+from repro.network.routing import RoutingTable
+from repro.network.switch import Switch
+from repro.network.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+
+__all__ = ["Fabric", "build_fabric"]
+
+
+@dataclass
+class Fabric:
+    """A fully wired network ready to simulate."""
+
+    sim: Simulator
+    topo: Topology
+    params: CCParams
+    spec: SchemeSpec
+    nodes: List[EndNode]
+    switches: List[Switch]
+    links: List[Link]
+    collector: Collector
+    rngs: RngFactory
+    #: generators registered by the traffic layer (kept alive here).
+    generators: List[object] = field(default_factory=list)
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to time ``until`` (ns)."""
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # aggregate statistics (used by experiments and tests)
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        s: Dict[str, float] = {
+            "delivered_packets": self.collector.delivered_packets,
+            "delivered_bytes": self.collector.delivered_bytes,
+            "generated_packets": sum(n.packets_generated for n in self.nodes),
+            "injected_packets": sum(n.packets_injected for n in self.nodes),
+            "fecn_marked": sum(sw.fecn_marked for sw in self.switches),
+            "becns_sent": sum(n.becns_sent for n in self.nodes),
+            "becns_received": sum(
+                n.throttle.becns for n in self.nodes if n.throttle is not None
+            ),
+            "cfq_alloc_failures": sum(sw.cam_alloc_failures() for sw in self.switches),
+            "allocated_cfqs": sum(sw.allocated_cfqs() for sw in self.switches),
+            "buffered_bytes": sum(sw.total_buffered_bytes() for sw in self.switches),
+            "events": self.sim.events_dispatched,
+        }
+        return s
+
+    def in_flight_packets(self) -> int:
+        """Packets generated but not yet delivered (conservation checks)."""
+        return int(
+            sum(n.packets_generated for n in self.nodes)
+            - self.collector.delivered_packets
+        )
+
+
+def build_fabric(
+    topo: Topology,
+    scheme: str = "CCFIT",
+    params: Optional[CCParams] = None,
+    seed: int = 0,
+    collector: Optional[Collector] = None,
+    sim: Optional[Simulator] = None,
+) -> Fabric:
+    """Instantiate a simulated network.
+
+    Parameters
+    ----------
+    topo:
+        The network description (see :mod:`repro.network.topology`).
+    scheme:
+        One of ``1Q, VOQsw, VOQnet, FBICM, ITh, CCFIT`` (§IV-A).
+    params:
+        CC parameters; defaults to the paper's configuration.
+    seed:
+        Root seed — identical seeds give identical simulations.
+    collector, sim:
+        Inject your own metrics collector / engine if needed.
+    """
+    spec, params = scheme_params(scheme, params)
+    sim = sim if sim is not None else Simulator()
+    rngs = RngFactory(seed)
+    collector = collector if collector is not None else Collector()
+
+    memory = spec.memory_override(params, topo.num_nodes)
+    switch_params = params.with_overrides(memory_size=memory)
+
+    nodes = [
+        EndNode(
+            sim,
+            nid,
+            topo.num_nodes,
+            params,
+            staging=spec.ia_staging,
+            throttling=spec.throttling,
+            on_delivery=collector.record_delivery,
+        )
+        for nid in range(topo.num_nodes)
+    ]
+
+    num_nodes = topo.num_nodes
+    switches = [
+        Switch(
+            sim,
+            f"sw{s.id}",
+            num_ports=s.num_ports,
+            routing=RoutingTable.from_topology(topo, s.id),
+            params=switch_params,
+            scheme_factory=lambda port, _n=num_nodes: spec.switch_scheme(port, _n),
+            marking=spec.marking,
+            rng=rngs.stream(f"mark.sw{s.id}"),
+            crossbar_bw=topo.effective_crossbar_bw(),
+        )
+        for s in topo.switches
+    ]
+
+    links: List[Link] = []
+    delay = params.link_delay
+    for nid, (sw, port, bw) in sorted(topo.node_attach.items()):
+        node, switch = nodes[nid], switches[sw]
+        up = Link(sim, f"n{nid}->s{sw}p{port}", bw, delay, jitter=params.link_jitter,
+                  rng=rngs.stream(f"jitter.n{nid}.up"))
+        up.connect(tx=node, rx=switch.input_ports[port])
+        node.uplink = up
+        switch.input_ports[port].link_in = up
+        down = Link(sim, f"s{sw}p{port}->n{nid}", bw, delay, jitter=params.link_jitter,
+                    rng=rngs.stream(f"jitter.n{nid}.down"))
+        down.connect(tx=switch.output_ports[port], rx=node)
+        switch.output_ports[port].link_out = down
+        node.downlink = down
+        links.extend((up, down))
+
+    for a, pa, b, pb, bw in topo.switch_links:
+        ab = Link(sim, f"s{a}p{pa}->s{b}p{pb}", bw, delay, jitter=params.link_jitter,
+                  rng=rngs.stream(f"jitter.s{a}p{pa}"))
+        ab.connect(tx=switches[a].output_ports[pa], rx=switches[b].input_ports[pb])
+        switches[a].output_ports[pa].link_out = ab
+        switches[b].input_ports[pb].link_in = ab
+        ba = Link(sim, f"s{b}p{pb}->s{a}p{pa}", bw, delay, jitter=params.link_jitter,
+                  rng=rngs.stream(f"jitter.s{b}p{pb}"))
+        ba.connect(tx=switches[b].output_ports[pb], rx=switches[a].input_ports[pa])
+        switches[b].output_ports[pb].link_out = ba
+        switches[a].input_ports[pa].link_in = ba
+        links.extend((ab, ba))
+
+    # Resolve the auto arbitration slot: one MTU serialisation time at
+    # the switch's fastest attached link (all slower Table-I links are
+    # integer ratios, so every transmission ends on a slot boundary).
+    if params.match_quantum == -1.0:
+        for switch in switches:
+            fastest = max(
+                op.link_out.bandwidth
+                for op in switch.output_ports
+                if op.link_out is not None
+            )
+            switch.quantum = params.mtu / fastest
+
+    return Fabric(
+        sim=sim,
+        topo=topo,
+        params=params,
+        spec=spec,
+        nodes=nodes,
+        switches=switches,
+        links=links,
+        collector=collector,
+        rngs=rngs,
+    )

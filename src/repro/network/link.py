@@ -1,0 +1,221 @@
+"""Lossless links with credit-based flow control.
+
+A :class:`Link` is one *unidirectional* data channel (topologies create
+one per direction).  It bundles:
+
+* the wire itself — ``bandwidth`` (bytes/ns) and ``delay`` (ns), one
+  packet serialised at a time;
+* lossless **credit-based flow control**: a packet may start
+  transmission only when the link is idle *and* the downstream buffer
+  has committed space for it.  We implement credits by send-time
+  reservation: ``send`` immediately calls ``rx.reserve(pkt)`` (the
+  credit is consumed), and the receiver announces freed space through
+  :meth:`return_credit`, which reaches the transmitter after the wire
+  delay (the credit-return latency).  This is byte-exact VCT-style
+  whole-packet buffering; the only simplification against hardware
+  credit counters is that the transmitter's view of free space is fresh
+  rather than one round-trip stale (~40 ns against the millisecond-scale
+  dynamics the paper evaluates).  Overflow is impossible by
+  construction and asserted downstream;
+* a reverse **control channel** (CFQ Alloc/Dealloc/Stop/Go congestion
+  propagation, credit notifications) and a forward control channel
+  (BECN hop-by-hop forwarding) — out-of-band, see
+  :mod:`repro.network.packet` and DESIGN.md §2.
+
+Endpoints are duck-typed:
+
+* the receiver implements ``can_accept(pkt)``, ``reserve(pkt)``,
+  ``receive_packet(pkt, link)`` and ``receive_control(msg, link)``;
+* the transmitter implements ``on_tx_done(link)`` (serialisation
+  finished; the output port is free again), ``on_credit(link)`` and
+  ``receive_reverse_control(msg, link)``.
+
+Link bandwidth may be changed mid-simulation with
+:meth:`set_bandwidth` — this models the frequency/voltage link scaling
+the paper's introduction lists among congestion causes, and is used by
+the ``link_downscaling`` example and ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.network.packet import ControlMessage, Packet
+from repro.sim.engine import Simulator
+
+__all__ = ["Link", "LinkError", "CONTROL_HOP_DELAY"]
+
+#: forwarding latency added to every control-message hop (ns).  Small
+#: against the 819.2 ns MTU serialisation time, non-zero so control
+#: information is never instantaneous.
+CONTROL_HOP_DELAY = 10.0
+
+
+class LinkError(RuntimeError):
+    """Raised on protocol violations (sending while busy / without space)."""
+
+
+class Link:
+    """One unidirectional data channel plus its control channels."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "bandwidth",
+        "delay",
+        "jitter",
+        "rng",
+        "tx",
+        "rx",
+        "busy_until",
+        "in_flight",
+        "bytes_sent",
+        "packets_sent",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth: float,
+        delay: float,
+        jitter: float = 0.0,
+        rng: Any = None,
+    ) -> None:
+        """``jitter`` stretches each serialisation by a uniform factor in
+        ``[0, jitter)`` (seeded ``rng`` required when non-zero).
+
+        With every link and crossbar clocked at exact multiples of the
+        819.2 ns MTU time, an event-driven packet-grain model can lock
+        into pathological phase alignments (an input port busy at the
+        exact instants an output frees, forever).  Real fabrics never
+        sustain such alignment — every device runs its own oscillator
+        and queueing noise decorrelates phases.  A fraction of a percent
+        of seeded serialisation jitter restores that asynchrony at
+        negligible bandwidth cost (DESIGN.md §5)."""
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if jitter < 0 or jitter >= 0.5:
+            raise ValueError(f"jitter must be in [0, 0.5), got {jitter}")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires a seeded rng")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.delay = float(delay)
+        self.jitter = float(jitter)
+        self.rng = rng
+        self.tx: Any = None
+        self.rx: Any = None
+        self.busy_until = 0.0
+        self.in_flight: Optional[Packet] = None
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect(self, tx: Any, rx: Any) -> None:
+        """Attach the transmitter and receiver endpoints."""
+        self.tx = tx
+        self.rx = rx
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return self.sim.now >= self.busy_until
+
+    def can_send(self, pkt: Packet) -> bool:
+        """True when ``pkt`` could start transmission right now."""
+        return self.idle and self.rx.can_accept(pkt)
+
+    def serialization_time(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth
+
+    def send(self, pkt: Packet) -> float:
+        """Start transmitting ``pkt``.
+
+        Reserves downstream buffer space immediately (the credit is
+        consumed), occupies the wire for ``size/bandwidth``, then
+        delivers after the propagation delay.  Returns the
+        serialisation-complete time (when the transmitter frees up).
+        """
+        if not self.idle:
+            raise LinkError(f"{self.name}: send while busy until {self.busy_until}")
+        if not self.rx.can_accept(pkt):
+            raise LinkError(f"{self.name}: send without downstream space for {pkt!r}")
+        self.rx.reserve(pkt)
+        ser = pkt.size / self.bandwidth
+        if self.jitter > 0.0:
+            ser *= 1.0 + self.rng.random() * self.jitter
+        done = self.sim.now + ser
+        self.busy_until = done
+        self.in_flight = pkt
+        self.bytes_sent += pkt.size
+        self.packets_sent += 1
+        self.sim.schedule(done, self._tx_done)
+        self.sim.schedule(done + self.delay, self._deliver, pkt)
+        return done
+
+    def _tx_done(self) -> None:
+        self.in_flight = None
+        if self.tx is not None:
+            self.tx.on_tx_done(self)
+
+    def _deliver(self, pkt: Packet) -> None:
+        pkt.hops += 1
+        self.rx.receive_packet(pkt, self)
+
+    # ------------------------------------------------------------------
+    # credits (reverse channel)
+    # ------------------------------------------------------------------
+    def return_credit(self, nbytes: int) -> None:
+        """Called by the *receiver* when bytes leave its buffer; wakes
+        the transmitter after the credit-return wire delay."""
+        if nbytes <= 0:
+            raise LinkError(f"{self.name}: non-positive credit {nbytes}")
+        self.sim.schedule(self.sim.now + self.delay, self._credit_arrive)
+
+    def _credit_arrive(self) -> None:
+        if self.tx is not None:
+            self.tx.on_credit(self)
+
+    # ------------------------------------------------------------------
+    # control channels
+    # ------------------------------------------------------------------
+    def send_control(self, msg: ControlMessage) -> None:
+        """Forward-direction control (follows the data): e.g. BECN hops."""
+        self.sim.schedule(
+            self.sim.now + self.delay + CONTROL_HOP_DELAY, self._deliver_control, msg
+        )
+
+    def _deliver_control(self, msg: ControlMessage) -> None:
+        self.rx.receive_control(msg, self)
+
+    def send_reverse_control(self, msg: ControlMessage) -> None:
+        """Reverse-direction control (against the data): CFQ
+        Alloc/Dealloc/Stop/Go congestion propagation."""
+        self.sim.schedule(
+            self.sim.now + self.delay + CONTROL_HOP_DELAY,
+            self._deliver_reverse_control,
+            msg,
+        )
+
+    def _deliver_reverse_control(self, msg: ControlMessage) -> None:
+        self.tx.receive_reverse_control(msg, self)
+
+    # ------------------------------------------------------------------
+    # extensions
+    # ------------------------------------------------------------------
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Re-scale the link speed (takes effect for the next packet)."""
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.bandwidth = float(bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.bandwidth}B/ns busy_until={self.busy_until}>"

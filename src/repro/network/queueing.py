@@ -1,0 +1,272 @@
+"""Input-port queue schemes.
+
+Each evaluated technique organises the per-port RAM differently
+(§IV-A).  A *scheme* object owns the port's queues and answers three
+questions for its host port:
+
+1. where does an arriving packet go (``on_arrival``);
+2. which queue heads may currently request which output ports
+   (``eligible_heads``);
+3. does the port accept another packet beyond the shared-pool check
+   (``can_accept_extra`` — only VOQnet adds per-queue limits).
+
+Schemes defined here:
+
+* :class:`OneQScheme` — a single FIFO, no HoL protection (the paper's
+  "1Q" baseline).
+* :class:`VOQswScheme` — one queue per switch output port [21]; with
+  ``detect_hot=True`` it also runs the ITh High/Low occupancy
+  detection of [12] that drives FECN marking.
+* :class:`VOQnetScheme` — one queue per network destination [22], the
+  theoretically HoL-free but unscalable upper bound.
+
+The NFQ+CFQ scheme used by FBICM and CCFIT lives in
+:mod:`repro.core.isolation` next to the congestion-tree protocol it
+implements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple
+
+from repro.core.params import CCParams
+from repro.network.buffers import BufferPool, PacketQueue
+from repro.network.packet import Packet
+
+__all__ = ["PortHost", "QueueScheme", "OneQScheme", "VOQswScheme", "VOQnetScheme"]
+
+
+class PortHost(Protocol):
+    """What a queue scheme needs from its owning port."""
+
+    pool: BufferPool
+    params: CCParams
+    name: str
+
+    def route(self, pkt: Packet) -> int:
+        """Output-port index ``pkt`` will request."""
+
+    def kick(self) -> None:
+        """Ask the owner to re-run arbitration soon."""
+
+    def set_output_hot(self, out_port: int, source: object, hot: bool) -> None:
+        """Report a queue crossing the ITh High/Low thresholds."""
+
+
+class QueueScheme:
+    """Base class — a list of queues plus the three policy hooks.
+
+    ``eligible_heads`` results are cached: the arbitration loop asks
+    for them far more often than the queues change (profiling showed
+    the rebuild as a top cost on the 64-node runs), so subclasses
+    implement :meth:`_build_heads` and call :meth:`invalidate_heads`
+    from every mutation.
+    """
+
+    def __init__(self, host: PortHost) -> None:
+        self.host = host
+        self._queues: List[PacketQueue] = []
+        self._heads: List[Tuple[PacketQueue, int, Packet]] = None  # type: ignore[assignment]
+
+    # -- policy hooks ----------------------------------------------------
+    def on_arrival(self, pkt: Packet) -> None:
+        raise NotImplementedError
+
+    def eligible_heads(self) -> List[Tuple[PacketQueue, int, Packet]]:
+        """(queue, out_port, head packet) for every queue allowed to
+        request its output right now (cached between mutations)."""
+        heads = self._heads
+        if heads is None:
+            heads = self._heads = self._build_heads()
+        return heads
+
+    def _build_heads(self) -> List[Tuple[PacketQueue, int, Packet]]:
+        raise NotImplementedError
+
+    def invalidate_heads(self) -> None:
+        """Drop the cached eligibility list (call after any mutation)."""
+        self._heads = None
+
+    def after_dequeue(self, queue: PacketQueue) -> None:
+        """State refresh after a packet left ``queue`` (hook for
+        detection/thresholds; the base just drops the head cache)."""
+        self.invalidate_heads()
+
+    # -- admission beyond the shared pool ---------------------------------
+    def can_accept_extra(self, pkt: Packet) -> bool:
+        return True
+
+    def reserve_extra(self, pkt: Packet) -> None:
+        pass
+
+    # -- introspection -----------------------------------------------------
+    def queues(self) -> List[PacketQueue]:
+        return self._queues
+
+    def total_packets(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def total_bytes(self) -> int:
+        return sum(q.bytes for q in self._queues)
+
+
+class OneQScheme(QueueScheme):
+    """Everything in one FIFO: maximal HoL blocking, minimal hardware."""
+
+    def __init__(self, host: PortHost) -> None:
+        super().__init__(host)
+        self.q = PacketQueue(f"{host.name}.q0")
+        self._queues = [self.q]
+
+    def on_arrival(self, pkt: Packet) -> None:
+        self.q.push(pkt)
+        self.invalidate_heads()
+        self.host.kick()
+
+    def _build_heads(self) -> List[Tuple[PacketQueue, int, Packet]]:
+        head = self.q.head()
+        if head is None:
+            return []
+        return [(self.q, self.host.route(head), head)]
+
+
+class VOQswScheme(QueueScheme):
+    """Virtual output queues at switch level.
+
+    One FIFO per output port removes HoL blocking *inside* the switch;
+    congestion spreading from other switches still mixes flows in one
+    VOQ (§II).  With ``detect_hot`` the scheme additionally flags
+    output ports whose VOQ occupancy crosses the High threshold and
+    clears them below Low — the ITh congestion detector of [12].
+    """
+
+    def __init__(self, host: PortHost, num_outputs: int, detect_hot: bool = False) -> None:
+        super().__init__(host)
+        self.num_outputs = num_outputs
+        self.detect_hot = detect_hot
+        self.voqs = [PacketQueue(f"{host.name}.voq{o}") for o in range(num_outputs)]
+        self._queues = list(self.voqs)
+        self._hot = [False] * num_outputs
+
+    def on_arrival(self, pkt: Packet) -> None:
+        out = self.host.route(pkt)
+        self.voqs[out].push(pkt)
+        self._check_thresholds(out)
+        self.invalidate_heads()
+        self.host.kick()
+
+    def _build_heads(self) -> List[Tuple[PacketQueue, int, Packet]]:
+        out = []
+        for o, q in enumerate(self.voqs):
+            head = q.head()
+            if head is not None:
+                out.append((q, o, head))
+        return out
+
+    def after_dequeue(self, queue: PacketQueue) -> None:
+        self.invalidate_heads()
+        if self.detect_hot:
+            self._check_thresholds(self.voqs.index(queue))
+
+    def _check_thresholds(self, out: int) -> None:
+        if not self.detect_hot:
+            return
+        p = self.host.params
+        occ = self.voqs[out].bytes
+        if not self._hot[out] and occ >= p.voq_high:
+            self._hot[out] = True
+            self.host.set_output_hot(out, self.voqs[out], True)
+        elif self._hot[out] and occ <= p.voq_low:
+            self._hot[out] = False
+            self.host.set_output_hot(out, self.voqs[out], False)
+
+
+class DbbmScheme(QueueScheme):
+    """Destination-Based Buffer Management [24].
+
+    A fixed, small set of queues; every packet is filed by a hash of
+    its destination (``dst mod num_queues``).  Packets to one
+    destination never interleave across queues, so HoL blocking is
+    *reduced* (only destinations sharing a hash bucket can block each
+    other) without CAMs or per-destination state — the cheapest of the
+    §II queue-scheme family.  Congested destinations still poison
+    their whole bucket, which is exactly the gap FBICM/CCFIT close.
+    """
+
+    def __init__(self, host: PortHost, num_queues: int) -> None:
+        super().__init__(host)
+        if num_queues < 1:
+            raise ValueError(f"DBBM needs >= 1 queue, got {num_queues}")
+        self.num_queues = num_queues
+        self.queues_by_hash = [
+            PacketQueue(f"{host.name}.dbbm{i}") for i in range(num_queues)
+        ]
+        self._queues = list(self.queues_by_hash)
+
+    def on_arrival(self, pkt: Packet) -> None:
+        self.queues_by_hash[pkt.dst % self.num_queues].push(pkt)
+        self.invalidate_heads()
+        self.host.kick()
+
+    def _build_heads(self) -> List[Tuple[PacketQueue, int, Packet]]:
+        out = []
+        for q in self.queues_by_hash:
+            head = q.head()
+            if head is not None:
+                out.append((q, self.host.route(head), head))
+        return out
+
+
+class VOQnetScheme(QueueScheme):
+    """Virtual output queues at network level — one FIFO per destination.
+
+    Completely HoL-free, but needs per-destination buffer space
+    (4 KiB/queue in §IV-A, i.e. 256 KiB ports on the 64-node network).
+    Admission is per-queue: the transmitter may only send a packet when
+    the *destination's* queue has room, so one hot destination can
+    never squeeze the others out of the port (per-queue credits).
+    In-flight reservations are tracked per destination because space is
+    committed at transmission start, one link delay before arrival.
+    """
+
+    def __init__(self, host: PortHost, num_destinations: int) -> None:
+        super().__init__(host)
+        # The port memory is divided into as many queues as network
+        # end-nodes; ``voqnet_queue_size`` is the *minimum* per-queue
+        # share (§IV-A fixes it at 4 KiB, which sizes the 64-node
+        # configuration's ports at 256 KiB).
+        per_queue = max(host.params.voqnet_queue_size, host.pool.capacity // num_destinations)
+        if per_queue * num_destinations > host.pool.capacity:
+            raise ValueError(
+                f"{host.name}: pool {host.pool.capacity}B cannot back "
+                f"{num_destinations} VOQnet queues of {per_queue}B"
+            )
+        self.per_queue = per_queue
+        self.voqs = [
+            PacketQueue(f"{host.name}.d{d}", max_bytes=per_queue)
+            for d in range(num_destinations)
+        ]
+        self._queues = list(self.voqs)
+        self._pending = [0] * num_destinations
+
+    def can_accept_extra(self, pkt: Packet) -> bool:
+        q = self.voqs[pkt.dst]
+        return q.bytes + self._pending[pkt.dst] + pkt.size <= self.per_queue
+
+    def reserve_extra(self, pkt: Packet) -> None:
+        self._pending[pkt.dst] += pkt.size
+
+    def on_arrival(self, pkt: Packet) -> None:
+        self._pending[pkt.dst] -= pkt.size
+        assert self._pending[pkt.dst] >= 0, "VOQnet pending accounting broken"
+        self.voqs[pkt.dst].push(pkt)
+        self.invalidate_heads()
+        self.host.kick()
+
+    def _build_heads(self) -> List[Tuple[PacketQueue, int, Packet]]:
+        out = []
+        for q in self.voqs:
+            head = q.head()
+            if head is not None:
+                out.append((q, self.host.route(head), head))
+        return out

@@ -1,0 +1,105 @@
+"""Table-based distributed deterministic routing.
+
+The paper's switches use "distributed deterministic routing
+(InfiniBand being a prominent example) ... table-based" (§III-A,
+Table I).  At runtime a switch owns a :class:`RoutingTable`: a plain
+destination → output-port map, queried once per packet head.
+
+:func:`build_routing` derives such tables for *arbitrary* topologies by
+deterministic BFS (lowest-port tie-break).  The fat-tree builders ship
+their own DET tables (see :mod:`repro.network.topology`); BFS routing
+is used for ad-hoc test topologies and as a differential-testing
+baseline (both must deliver every packet).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Tuple
+
+from repro.network.topology import Topology, TopologyError
+
+__all__ = ["RoutingTable", "build_routing"]
+
+
+class RoutingTable:
+    """Per-switch destination → output-port map."""
+
+    __slots__ = ("switch_id", "_table")
+
+    def __init__(self, switch_id: int, table: Dict[int, int]) -> None:
+        self.switch_id = switch_id
+        self._table = table
+
+    def lookup(self, dst: int) -> int:
+        """Output port for destination ``dst``.
+
+        Raises :class:`KeyError` for unroutable destinations — a
+        configuration error, never expected at runtime.
+        """
+        return self._table[dst]
+
+    def __contains__(self, dst: int) -> bool:
+        return dst in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @classmethod
+    def from_topology(cls, topo: Topology, switch_id: int) -> "RoutingTable":
+        table = {
+            dst: port
+            for (sw, dst), port in topo.routes.items()
+            if sw == switch_id
+        }
+        return cls(switch_id, table)
+
+
+def build_routing(topo: Topology) -> Dict[Tuple[int, int], int]:
+    """Compute deterministic shortest-path routes for any topology.
+
+    Runs one BFS per destination node over the switch graph, breaking
+    ties by the lowest output port at each switch.  Returns the same
+    ``(switch_id, dst) -> out_port`` mapping shape that
+    :class:`repro.network.topology.Topology` stores, so callers can do
+    ``topo.routes = build_routing(topo)`` for hand-built topologies.
+    """
+    # adjacency: switch -> list of (port, kind, other_id, other_port)
+    adj: Dict[int, list] = {s.id: [] for s in topo.switches}
+    for nid, (sw, p, _bw) in topo.node_attach.items():
+        adj[sw].append((p, "node", nid, 0))
+    for a, pa, b, pb, _bw in topo.switch_links:
+        adj[a].append((pa, "switch", b, pb))
+        adj[b].append((pb, "switch", a, pa))
+    for ports in adj.values():
+        ports.sort()
+
+    routes: Dict[Tuple[int, int], int] = {}
+    for dst in range(topo.num_nodes):
+        dst_sw, _dst_port, _bw = topo.node_attach[dst]
+        # BFS backwards from the destination's switch.
+        dist = {dst_sw: 0}
+        frontier = deque([dst_sw])
+        while frontier:
+            sw = frontier.popleft()
+            for _p, kind, other, _op in adj[sw]:
+                if kind == "switch" and other not in dist:
+                    dist[other] = dist[sw] + 1
+                    frontier.append(other)
+        for sw, ports in adj.items():
+            if sw not in dist:
+                raise TopologyError(f"switch {sw} cannot reach destination {dst}")
+            if sw == dst_sw:
+                for p, kind, other, _op in ports:
+                    if kind == "node" and other == dst:
+                        routes[(sw, dst)] = p
+                        break
+                continue
+            # lowest port among neighbours strictly closer to dst
+            for p, kind, other, _op in ports:
+                if kind == "switch" and dist.get(other, 1 << 30) == dist[sw] - 1:
+                    routes[(sw, dst)] = p
+                    break
+            else:
+                raise TopologyError(f"no next hop at switch {sw} for dst {dst}")
+    return routes

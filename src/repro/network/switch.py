@@ -1,0 +1,406 @@
+"""The input-queued switch.
+
+Architecture per §III-A: memory only at input ports (a
+:class:`repro.network.buffers.BufferPool` organised by the configured
+queue scheme), iSlip crossbar scheduling [31], table-based distributed
+deterministic routing, and — for the CC-enabled schemes — the CAMs and
+congestion-state machinery of FBICM/CCFIT plus FECN marking.
+
+Event flow of one packet through the switch:
+
+1. the upstream link delivers into an :class:`InputPort` (space was
+   reserved at transmission start — lossless credit semantics);
+2. the port's queue scheme files it (NFQ, VOQ, ...), post-processing and
+   detection run (see :mod:`repro.core.isolation`), and the switch is
+   *kicked*;
+3. the next matching round (one event per time instant) collects every
+   eligible queue head from every idle input port, filters by output
+   availability and downstream space, and runs iSlip;
+4. a matched packet is popped, possibly FECN-marked (output port in the
+   congestion state), and handed to the output link; input port and
+   output stay busy for the serialisation time;
+5. on completion the input buffer bytes are released and a credit
+   returns upstream.
+
+Congestion-tree protocol messages from the downstream switch arrive at
+the :class:`OutputPort` (reverse control channel) and are fanned out to
+the input-port schemes; BECNs arriving at input ports are forwarded
+towards their destination through the control plane.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cam import OutputCam, OutputCamLine
+from repro.core.isolation import NfqCfqScheme
+from repro.core.params import CCParams
+from repro.core.throttling import FecnMarker
+from repro.network.arbiter import ISlip
+from repro.network.buffers import BufferPool
+from repro.network.link import Link
+from repro.network.packet import (
+    Becn,
+    CfqAlloc,
+    CfqDealloc,
+    CfqGo,
+    CfqStop,
+    ControlMessage,
+    Packet,
+)
+from repro.network.queueing import QueueScheme
+from repro.network.routing import RoutingTable
+from repro.sim.engine import Simulator
+
+__all__ = ["Switch", "InputPort", "OutputPort"]
+
+
+class InputPort:
+    """One switch input port: buffer pool + queue scheme + protocol glue.
+
+    Doubles as the *receiver* endpoint of the upstream link and as the
+    *host* object its queue scheme talks to (see
+    :class:`repro.network.queueing.PortHost` /
+    :class:`repro.core.isolation.IsolationHost`).
+    """
+
+    def __init__(self, switch: "Switch", index: int) -> None:
+        self.switch = switch
+        self.index = index
+        self.name = f"{switch.name}.in{index}"
+        self.params = switch.params
+        self.pool = BufferPool(switch.params.memory_size)
+        self.scheme: QueueScheme = None  # type: ignore[assignment]  # set by Switch
+        self.link_in: Optional[Link] = None
+        #: aggregate bandwidth (bytes/ns) of in-progress crossbar reads;
+        #: bounded by the switch crossbar bandwidth, so a 2x crossbar
+        #: lets one port stream to two outputs concurrently (Table I).
+        self.active_rate = 0.0
+        self.rr_counter = 0
+        self.packets_received = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while at least one packet is being read (diagnostics)."""
+        return self.active_rate > 0.0
+
+    def can_read_at(self, rate: float) -> bool:
+        """Could this port start another crossbar read at ``rate``?"""
+        budget = self.switch.crossbar_bw
+        if budget is None:
+            return self.active_rate == 0.0
+        return self.active_rate + rate <= budget * (1.0 + 1e-9)
+
+    # -- PortHost / IsolationHost ----------------------------------------
+    def route(self, pkt: Packet) -> int:
+        return self.switch.routing.lookup(pkt.dst)
+
+    def kick(self) -> None:
+        self.switch.kick()
+
+    def now(self) -> float:
+        return self.switch.sim.now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        self.switch.sim.schedule_in(delay, fn)
+
+    def set_output_hot(self, out_port: int, source: object, hot: bool) -> None:
+        self.switch.output_ports[out_port].set_hot((self.index, id(source)), hot)
+
+    def send_upstream(self, msg: ControlMessage) -> None:
+        if self.link_in is not None:
+            self.link_in.send_reverse_control(msg)
+
+    def announced_tree(self, dest: int) -> Optional[OutputCamLine]:
+        out = self.switch.routing.lookup(dest)
+        return self.switch.output_ports[out].out_cam.lookup(dest)
+
+    def root_cfq_hot_changed(self, dest: int, hot: bool) -> None:
+        out = self.switch.routing.lookup(dest)
+        self.switch.output_ports[out].set_hot((self.index, "root", dest), hot)
+
+    # -- link receiver endpoint -------------------------------------------
+    def can_accept(self, pkt: Packet) -> bool:
+        return self.pool.free >= pkt.size and self.scheme.can_accept_extra(pkt)
+
+    def reserve(self, pkt: Packet) -> None:
+        self.pool.reserve(pkt.size)
+        self.scheme.reserve_extra(pkt)
+
+    def receive_packet(self, pkt: Packet, link: Link) -> None:
+        self.packets_received += 1
+        self.scheme.on_arrival(pkt)
+
+    def receive_control(self, msg: ControlMessage, link: Link) -> None:
+        self.switch.forward_control(msg)
+
+    def occupancy(self) -> int:
+        return self.pool.used
+
+
+class OutputPort:
+    """One switch output port: link, output CAM, congestion state."""
+
+    def __init__(self, switch: "Switch", index: int) -> None:
+        self.switch = switch
+        self.index = index
+        self.name = f"{switch.name}.out{index}"
+        self.link_out: Optional[Link] = None
+        self.out_cam = OutputCam(switch.params.num_cfqs)
+        #: who keeps this port in the congestion state (root CFQs above
+        #: High for CCFIT, hot VOQs for ITh) — congested while non-empty.
+        self.hot_sources: set = set()
+        #: the (input port, packet) currently crossing to this output.
+        self.current: Optional[Tuple[InputPort, Packet]] = None
+        self.entered_congestion_state = 0
+
+    # -- congestion state ---------------------------------------------------
+    @property
+    def congested(self) -> bool:
+        return bool(self.hot_sources)
+
+    def set_hot(self, source_key: object, hot: bool) -> None:
+        if hot:
+            if not self.hot_sources:
+                self.entered_congestion_state += 1
+            self.hot_sources.add(source_key)
+        else:
+            self.hot_sources.discard(source_key)
+
+    # -- link transmitter endpoint -------------------------------------------
+    def on_tx_done(self, link: Link) -> None:
+        self.switch.on_transmission_done(self)
+
+    def on_credit(self, link: Link) -> None:
+        self.switch.kick()
+
+    def receive_reverse_control(self, msg: ControlMessage, link: Link) -> None:
+        self.switch.on_tree_message(self, msg)
+
+
+class Switch:
+    """An input-queued switch with a pluggable queue scheme.
+
+    Parameters
+    ----------
+    sim, name:
+        Engine and diagnostic name.
+    num_ports:
+        Radix (bidirectional ports; one InputPort + one OutputPort each).
+    routing:
+        The destination → output-port table for this switch.
+    params:
+        CC parameters (thresholds, CFQ counts, marking).
+    scheme_factory:
+        ``f(input_port) -> QueueScheme`` building each port's queues.
+    marking:
+        FECN-mark packets crossing congested output ports (ITh/CCFIT).
+    rng:
+        Random stream for the Marking_Rate lottery.
+    crossbar_bw:
+        Crossbar bandwidth in bytes/ns (Table I: 5 GB/s on Config #1,
+        2.5 GB/s on the fat trees).  An input port is busy reading a
+        matched packet for ``size/crossbar_bw``; with crossbar speedup
+        over the link rate, one input port can feed several outputs
+        back-to-back — without it, a port mixing a victim and a
+        congested flow could never drain faster than one link.
+        ``None`` couples the read time to the output link (speedup 1).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        num_ports: int,
+        routing: RoutingTable,
+        params: CCParams,
+        scheme_factory: Callable[[InputPort], QueueScheme],
+        marking: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        crossbar_bw: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.num_ports = num_ports
+        self.routing = routing
+        self.params = params
+        self.marking = marking
+        self.crossbar_bw = crossbar_bw
+        self.marker = FecnMarker(params, rng if rng is not None else np.random.default_rng(0))
+        self.input_ports = [InputPort(self, i) for i in range(num_ports)]
+        self.output_ports = [OutputPort(self, i) for i in range(num_ports)]
+        for port in self.input_ports:
+            port.scheme = scheme_factory(port)
+        self.arbiter = ISlip(num_ports, num_ports, params.islip_iterations)
+        #: arbitration slot (ns); resolved by the fabric builder when
+        #: params.match_quantum is the -1 auto sentinel.  0 = match
+        #: immediately on every event (the async ablation mode).
+        self.quantum = params.match_quantum if params.match_quantum >= 0 else 0.0
+        self._match_scheduled = False
+        #: slowest attached output link (lazily computed) — lets the
+        #: matcher skip saturated input ports without scanning queues.
+        self._min_link_bw: Optional[float] = None
+        self.packets_forwarded = 0
+        self.fecn_marked = 0
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Request a matching round at the next arbitration slot
+        (kicks arriving within one slot are coalesced).
+
+        A transmission ending exactly on a slot boundary must be
+        matchable in that same slot, so boundary hits (within a float
+        tolerance) are not pushed a whole slot into the future.
+        """
+        if not self._match_scheduled:
+            self._match_scheduled = True
+            q = self.quantum
+            now = self.sim.now
+            if q <= 0.0:
+                when = now
+            else:
+                k = now / q
+                when = max(now, round(k) * q if abs(k - round(k)) < 1e-6 else (now // q + 1.0) * q)
+            self.sim.schedule(when, self._match)
+
+    def _match(self) -> None:
+        self._match_scheduled = False
+        if self._min_link_bw is None:
+            self._min_link_bw = min(
+                (op.link_out.bandwidth for op in self.output_ports if op.link_out),
+                default=0.0,
+            )
+        requests: Dict[int, List[int]] = {}
+        # (input, output) -> list of (queue, pkt) candidates.
+        candidates: Dict[Tuple[int, int], List[Tuple[object, Packet]]] = {}
+        for port in self.input_ports:
+            # Saturated read path: not even the slowest link fits.
+            if not port.can_read_at(self._min_link_bw):
+                continue
+            outs: List[int] = []
+            for queue, out, pkt in port.scheme.eligible_heads():
+                out_port = self.output_ports[out]
+                link = out_port.link_out
+                if link is None or not link.can_send(pkt):
+                    continue
+                if not port.can_read_at(link.bandwidth):
+                    continue
+                candidates.setdefault((port.index, out), []).append((queue, pkt))
+                if out not in outs:
+                    outs.append(out)
+            if outs:
+                requests[port.index] = outs
+        if not requests:
+            return
+        matches = self.arbiter.match(requests)
+        for inp, out in matches.items():
+            cands = candidates[(inp, out)]
+            port = self.input_ports[inp]
+            queue, pkt = cands[port.rr_counter % len(cands)]
+            port.rr_counter += 1
+            self._start_transmission(port, self.output_ports[out], queue, pkt)
+        if matches:
+            # A port with crossbar headroom left may start a second
+            # concurrent read this very instant (iSlip grants one match
+            # per input per round) — run another round.
+            self.kick()
+
+    def _start_transmission(self, port: InputPort, out_port: OutputPort, queue, pkt: Packet) -> None:
+        popped = queue.pop()
+        assert popped is pkt, "queue head changed between match and pop"
+        rate = out_port.link_out.bandwidth
+        port.active_rate += rate
+        out_port.current = (port, pkt, rate)
+        if self.marking and out_port.congested:
+            if self.marker.maybe_mark(pkt):
+                self.fecn_marked += 1
+        out_port.link_out.send(pkt)
+        self.packets_forwarded += 1
+        port.scheme.after_dequeue(queue)
+
+    def on_transmission_done(self, out_port: OutputPort) -> None:
+        """Serialisation finished: the packet's tail has left both the
+        crossbar and the input buffer — free the read capacity and the
+        RAM, return the link-level credit, and re-arbitrate."""
+        assert out_port.current is not None, "tx done with no transmission"
+        port, pkt, rate = out_port.current
+        out_port.current = None
+        port.active_rate -= rate
+        if port.active_rate < 1e-12:
+            port.active_rate = 0.0
+        port.pool.release(pkt.size)
+        if port.link_in is not None:
+            port.link_in.return_credit(pkt.size)
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # congestion-tree protocol (reverse control from downstream)
+    # ------------------------------------------------------------------
+    def on_tree_message(self, out_port: OutputPort, msg: ControlMessage) -> None:
+        if isinstance(msg, CfqAlloc):
+            out_port.out_cam.allocate(msg.destination)
+            for port in self.input_ports:
+                scheme = port.scheme
+                if isinstance(scheme, NfqCfqScheme):
+                    scheme.on_tree_announced()
+        elif isinstance(msg, CfqStop):
+            line = out_port.out_cam.lookup(msg.destination)
+            if line is not None:
+                line.stopped = True
+            self._fanout_stop(msg.destination, True)
+        elif isinstance(msg, CfqGo):
+            line = out_port.out_cam.lookup(msg.destination)
+            if line is not None:
+                line.stopped = False
+            self._fanout_stop(msg.destination, False)
+        elif isinstance(msg, CfqDealloc):
+            if out_port.out_cam.lookup(msg.destination) is not None:
+                out_port.out_cam.free(msg.destination)
+            for port in self.input_ports:
+                scheme = port.scheme
+                if isinstance(scheme, NfqCfqScheme):
+                    scheme.tree_orphaned(msg.destination)
+        else:  # pragma: no cover - unknown control is a wiring bug
+            raise TypeError(f"unexpected reverse control {msg!r}")
+
+    def _fanout_stop(self, dest: int, stopped: bool) -> None:
+        for port in self.input_ports:
+            scheme = port.scheme
+            if isinstance(scheme, NfqCfqScheme):
+                scheme.tree_stopped(dest, stopped)
+
+    # ------------------------------------------------------------------
+    # control-plane forwarding (BECNs travelling to their destination)
+    # ------------------------------------------------------------------
+    def forward_control(self, msg: ControlMessage) -> None:
+        if isinstance(msg, Becn):
+            out = self.routing.lookup(msg.dst)
+            link = self.output_ports[out].link_out
+            if link is not None:
+                link.send_control(msg)
+        else:  # pragma: no cover - unknown control is a wiring bug
+            raise TypeError(f"unexpected forward control {msg!r}")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def total_buffered_bytes(self) -> int:
+        return sum(p.pool.used for p in self.input_ports)
+
+    def allocated_cfqs(self) -> int:
+        total = 0
+        for p in self.input_ports:
+            if isinstance(p.scheme, NfqCfqScheme):
+                total += p.scheme.allocated_cfqs()
+        return total
+
+    def cam_alloc_failures(self) -> int:
+        total = 0
+        for p in self.input_ports:
+            if isinstance(p.scheme, NfqCfqScheme):
+                total += p.scheme.cam.alloc_failures
+        return total

@@ -1,0 +1,12 @@
+"""Discrete-event simulation substrate.
+
+The engine in :mod:`repro.sim.engine` is the clock and scheduler every
+other component of the reproduction runs on.  It is deliberately small:
+a binary-heap event queue with deterministic FIFO tie-breaking, plus a
+few conveniences (periodic tasks, run-until predicates).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngFactory
+
+__all__ = ["Event", "Simulator", "RngFactory"]

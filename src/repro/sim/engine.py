@@ -1,0 +1,245 @@
+"""Deterministic discrete-event simulation engine.
+
+Time is a ``float`` in **nanoseconds**.  Events scheduled for the same
+instant fire in scheduling order (FIFO tie-break via a monotonically
+increasing sequence number), which makes every simulation in this
+repository bit-for-bit reproducible for a fixed seed.
+
+The engine is intentionally minimal — components schedule plain
+callbacks.  Profiling (see DESIGN.md §5) showed the dominant costs in a
+packet-grain interconnect simulation are event dispatch and switch
+matching, so the hot path here is a bare ``heapq`` loop with no object
+indirection beyond the :class:`Event` handle needed for cancellation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling in the past)."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; keep it only if you may need
+    to :meth:`cancel` the event later.  Cancellation is O(1): the heap
+    entry is tombstoned and skipped at pop time.
+
+    The heap itself stores ``(time, seq, event)`` tuples so ordering
+    comparisons run on C-level floats/ints — with millions of events
+    per simulated millisecond, Python-level ``__lt__`` dispatch was one
+    of the top profile entries (see the optimisation guide's "measure,
+    then optimise the bottleneck").
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled events do not pin component state
+        # alive inside the heap until they are popped.
+        self.fn = _noop
+        self.args = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.1f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Event queue + clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10.0, handler, arg1, arg2)   # absolute time
+        sim.schedule_in(5.0, handler)             # relative delay
+        sim.run(until=1_000_000.0)
+
+    The engine guarantees:
+
+    * events fire in non-decreasing time order;
+    * equal-time events fire in the order they were scheduled;
+    * a handler scheduling new events at the *current* time has them run
+      within the same instant, after already-pending equal-time events.
+    """
+
+    __slots__ = ("_now", "_seq", "_heap", "_running", "events_dispatched")
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        #: heap of (time, seq, Event) tuples.
+        self._heap: list[tuple[float, int, Event]] = []
+        self._running = False
+        #: total events executed — useful for performance reporting.
+        self.events_dispatched: int = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time``.
+
+        Raises :class:`SimulationError` if ``time`` lies in the past.
+        Scheduling exactly at :attr:`now` is allowed (the event runs
+        later within the same instant).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self._now}"
+            )
+        ev = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        self._seq += 1
+        return ev
+
+    def schedule_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after a relative ``delay`` (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, fn, *args)
+
+    def call_every(
+        self,
+        period: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Run ``fn(*args)`` periodically (metrics sampling, watchdogs).
+
+        The chain starts at ``start`` (default: one period from now) and
+        stops after ``end`` if given.  Cancel via the returned
+        :class:`PeriodicTask`.
+        """
+        if period <= 0:
+            raise SimulationError(f"non-positive period {period}")
+        first = self._now + period if start is None else start
+        return PeriodicTask(self, first, period, end, fn, args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next pending event.  Returns False when idle."""
+        heap = self._heap
+        while heap:
+            _t, _s, ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self.events_dispatched += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been dispatched.
+
+        ``until`` is inclusive: events stamped exactly ``until`` run.
+        On return, :attr:`now` is ``until`` (if given) or the time of
+        the last event executed.
+        """
+        heap = self._heap
+        dispatched = 0
+        pop = heapq.heappop
+        while heap:
+            t, _s, ev = heap[0]
+            if ev.cancelled:
+                pop(heap)
+                continue
+            if until is not None and t > until:
+                break
+            pop(heap)
+            self._now = t
+            ev.fn(*ev.args)
+            dispatched += 1
+            if max_events is not None and dispatched >= max_events:
+                break
+        self.events_dispatched += dispatched
+        if until is not None and self._now < until:
+            self._now = until
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _t, _s, ev in self._heap if not ev.cancelled)
+
+    def drain(self, events: Iterable[Event]) -> None:
+        """Cancel a batch of events (helper for component teardown)."""
+        for ev in events:
+            ev.cancel()
+
+
+class PeriodicTask:
+    """A repeating callback chain created by :meth:`Simulator.call_every`."""
+
+    __slots__ = ("sim", "period", "end", "fn", "args", "cancelled", "_next")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        first: float,
+        period: float,
+        end: Optional[float],
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.sim = sim
+        self.period = period
+        self.end = end
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._next: Event = sim.schedule(first, self._tick)
+
+    def _tick(self) -> None:
+        if self.cancelled:
+            return
+        nxt = self.sim.now + self.period
+        if self.end is None or nxt <= self.end:
+            self._next = self.sim.schedule(nxt, self._tick)
+        self.fn(*self.args)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._next.cancel()

@@ -1,0 +1,21 @@
+"""Workload generation: rate-limited flows, uniform background traffic,
+and the paper's four evaluated traffic cases."""
+
+from repro.traffic.flows import FlowSpec, FlowGenerator, UniformGenerator, attach_traffic
+from repro.traffic.patterns import (
+    case1_flows,
+    case2_flows,
+    case3_traffic,
+    case4_traffic,
+)
+
+__all__ = [
+    "FlowSpec",
+    "FlowGenerator",
+    "UniformGenerator",
+    "attach_traffic",
+    "case1_flows",
+    "case2_flows",
+    "case3_traffic",
+    "case4_traffic",
+]

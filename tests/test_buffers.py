@@ -1,0 +1,112 @@
+"""Unit tests for the buffer pool and packet queues."""
+
+import pytest
+
+from repro.network.buffers import BufferError, BufferPool, PacketQueue
+from repro.network.packet import Packet
+
+
+def pkt(src=0, dst=1, size=2048, flow="f"):
+    return Packet(src, dst, size, flow)
+
+
+class TestBufferPool:
+    def test_reserve_and_release(self):
+        pool = BufferPool(4096)
+        pool.reserve(2048)
+        assert pool.used == 2048
+        assert pool.free == 2048
+        pool.release(2048)
+        assert pool.used == 0
+
+    def test_overflow_raises(self):
+        pool = BufferPool(4096)
+        pool.reserve(4096)
+        with pytest.raises(BufferError):
+            pool.reserve(1)
+
+    def test_underflow_raises(self):
+        pool = BufferPool(4096)
+        with pytest.raises(BufferError):
+            pool.release(1)
+
+    def test_negative_amounts_raise(self):
+        pool = BufferPool(4096)
+        with pytest.raises(BufferError):
+            pool.reserve(-1)
+        with pytest.raises(BufferError):
+            pool.release(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+
+class TestPacketQueue:
+    def test_fifo_order(self):
+        q = PacketQueue("q")
+        packets = [pkt(flow=f"f{i}") for i in range(5)]
+        for p in packets:
+            q.push(p)
+        assert [q.pop() for _ in range(5)] == packets
+
+    def test_byte_accounting(self):
+        q = PacketQueue("q")
+        q.push(pkt(size=100))
+        q.push(pkt(size=200))
+        assert q.bytes == 300
+        q.pop()
+        assert q.bytes == 200
+
+    def test_head_peeks_without_removing(self):
+        q = PacketQueue("q")
+        p = pkt()
+        q.push(p)
+        assert q.head() is p
+        assert len(q) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(BufferError):
+            PacketQueue("q").pop()
+
+    def test_head_of_empty_is_none(self):
+        assert PacketQueue("q").head() is None
+
+    def test_max_bytes_enforced(self):
+        q = PacketQueue("q", max_bytes=2048)
+        q.push(pkt(size=2048))
+        assert not q.fits(1)
+        with pytest.raises(BufferError):
+            q.push(pkt(size=1))
+
+    def test_push_front_reinserts_at_head(self):
+        q = PacketQueue("q")
+        a, b = pkt(flow="a"), pkt(flow="b")
+        q.push(a)
+        q.push_front(b)
+        assert q.pop() is b
+        assert q.pop() is a
+
+    def test_dest_tracking(self):
+        q = PacketQueue("q", track_dests=True)
+        q.push(pkt(dst=1, size=100))
+        q.push(pkt(dst=2, size=200))
+        q.push(pkt(dst=1, size=300))
+        assert q.dest_bytes == {1: 400, 2: 200}
+        q.pop()
+        assert q.dest_bytes == {1: 300, 2: 200}
+        q.pop()
+        q.pop()
+        assert q.dest_bytes == {}
+
+    def test_untracked_queue_has_no_dest_bytes(self):
+        q = PacketQueue("q")
+        q.push(pkt())
+        assert q.dest_bytes is None
+
+    def test_iteration_yields_queue_order(self):
+        q = PacketQueue("q")
+        packets = [pkt(flow=f"f{i}") for i in range(3)]
+        for p in packets:
+            q.push(p)
+        assert list(q) == packets

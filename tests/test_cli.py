@@ -1,0 +1,90 @@
+"""CLI and cost-accounting tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.params import CCParams
+from repro.experiments.configs import CONFIG1, CONFIG3
+from repro.experiments.costs import cost_table, scheme_cost
+
+
+class TestCosts:
+    def test_voqnet_cost_matches_paper(self):
+        """§IV-A: VOQnet on the 64-node network needs 256 KiB ports."""
+        c = scheme_cost("VOQnet", CONFIG3.topo())
+        assert c.memory_per_port == 256 * 1024
+        assert c.queues_per_port == 64
+
+    def test_ccfit_cost_is_small(self):
+        c = scheme_cost("CCFIT", CONFIG3.topo())
+        assert c.queues_per_port == 3  # NFQ + 2 CFQs
+        assert c.cam_lines_per_port == 2
+        assert c.memory_per_port == 64 * 1024
+
+    def test_ith_uses_voqs(self):
+        c = scheme_cost("ITh", CONFIG3.topo())
+        assert c.queues_per_port == 8
+
+    def test_total_memory_scales_with_ports(self):
+        c1 = scheme_cost("1Q", CONFIG1.topo())
+        assert c1.total_ports == 4 + 5
+        assert c1.total_memory == 9 * 64 * 1024
+
+    def test_cost_table_rows(self):
+        rows = cost_table(CONFIG3.topo())
+        schemes = [r["scheme"] for r in rows]
+        assert "CCFIT" in schemes and "VOQnet" in schemes
+        voqnet = next(r for r in rows if r["scheme"] == "VOQnet")
+        assert voqnet["memory/port KiB"] == "256"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(KeyError):
+            scheme_cost("QUIC", CONFIG1.topo())
+
+    def test_custom_params_respected(self):
+        c = scheme_cost("FBICM", CONFIG1.topo(), CCParams(num_cfqs=4))
+        assert c.queues_per_port == 5
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Config #3" in out and "256" in out
+
+    def test_case_runs(self, capsys):
+        assert main(["--scale", "0.05", "case", "1", "--scheme", "1Q"]) == 0
+        out = capsys.readouterr().out
+        assert "F0" in out and "delivered_packets" in out
+
+    def test_fig9_runs(self, capsys):
+        assert main(["--scale", "0.05", "fig", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "jain" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv = tmp_path / "out.csv"
+        assert main(["--scale", "0.05", "--csv", str(csv), "case", "1"]) == 0
+        text = csv.read_text()
+        assert text.startswith("scheme,time_ns,throughput_gbs")
+        assert "CCFIT" in text
+
+    def test_trees_command(self, capsys):
+        assert main(["--scale", "0.05", "trees", "1", "--scheme", "1Q"]) == 0
+        assert "burst-window throughput" in capsys.readouterr().out
+
+    def test_svg_export_fig7(self, tmp_path, capsys):
+        svg = tmp_path / "fig7a.svg"
+        assert main(["--scale", "0.05", "--svg", str(svg), "fig", "7a"]) == 0
+        text = svg.read_text()
+        assert text.startswith("<svg") and "CCFIT" in text
+
+    def test_svg_export_fig9_panels(self, tmp_path, capsys):
+        base = tmp_path / "fig9.svg"
+        assert main(["--scale", "0.05", "--svg", str(base), "fig", "9"]) == 0
+        panels = sorted(p.name for p in tmp_path.glob("fig9*.svg"))
+        assert panels == ["fig9a.svg", "fig9b.svg", "fig9c.svg", "fig9d.svg"]

@@ -1,0 +1,186 @@
+"""Unit tests for end nodes (sink + Input Adapter) on tiny fabrics."""
+
+import pytest
+
+from repro.core.params import CCParams, linear_cct
+from repro.network.fabric import build_fabric
+from repro.network.packet import Packet
+from repro.network.topology import config1_adhoc
+
+
+def fab_1q(**overrides):
+    params = CCParams(**overrides) if overrides else None
+    return build_fabric(config1_adhoc(), scheme="1Q", params=params, seed=0)
+
+
+def test_offer_to_self_rejected():
+    fab = fab_1q()
+    with pytest.raises(ValueError):
+        fab.nodes[0].offer(Packet(0, 0, 2048, "f"))
+
+
+def test_offer_backpressure_when_advoq_full():
+    fab = fab_1q(advoq_cap_packets=2)
+    node = fab.nodes[0]
+    # do not run the sim: packets pile into the AdVOQ/staging
+    assert node.offer(Packet(0, 3, 2048, "f"))
+    accepted = 1
+    while node.offer(Packet(0, 3, 2048, "f")):
+        accepted += 1
+        assert accepted < 10
+    assert node.offers_rejected == 1
+    # AdVOQ cap (2) + staging FIFO (2 packets) absorbed the rest
+    assert accepted == 4
+
+
+def test_single_flow_delivers_at_wire_rate():
+    fab = fab_1q()
+    from repro.traffic.flows import FlowSpec, attach_traffic
+
+    attach_traffic(fab, flows=[FlowSpec("f", src=0, dst=3, rate=2.5)])
+    fab.run(until=1_000_000.0)
+    bw = fab.collector.flow_bandwidth("f", 200_000.0, 1_000_000.0)
+    assert bw == pytest.approx(2.5, rel=0.03)
+
+
+def test_delivery_metadata():
+    fab = fab_1q()
+    from repro.traffic.flows import FlowSpec, attach_traffic
+
+    attach_traffic(fab, flows=[FlowSpec("f", src=0, dst=3, rate=2.5, end=10_000.0)])
+    fab.run(until=100_000.0)
+    node3 = fab.nodes[3]
+    assert node3.packets_delivered > 0
+    assert fab.collector.mean_latency("f") > 0
+
+
+def test_pump_respects_ird():
+    """With a throttled destination the IA delays AdVOQ drainage."""
+    fab = build_fabric(
+        config1_adhoc(),
+        scheme="CCFIT",
+        params=CCParams(cct=linear_cct(entries=4, step=100_000.0), becn_min_interval=0.0,
+                        ccti_timer=1e9),  # no decay during the test
+        seed=0,
+    )
+    node = fab.nodes[0]
+    node.throttle.on_becn(3)  # IRD = 100 us towards node 3
+    for _ in range(4):
+        node.offer(Packet(0, 3, 2048, "f"))
+    fab.run(until=50_000.0)
+    # one packet goes immediately (LTI starts unset), the rest wait
+    assert node.packets_injected <= 1
+    fab.run(until=500_000.0)
+    assert node.packets_injected == 4
+
+
+def test_fecn_triggers_becn_and_throttling():
+    fab = build_fabric(config1_adhoc(), scheme="CCFIT", seed=0)
+    src, dst = fab.nodes[0], fab.nodes[3]
+    pkt = Packet(0, 3, 2048, "f")
+    pkt.fecn = True  # as if a congested switch port marked it
+    src.offer(pkt)
+    fab.run(until=100_000.0)
+    assert dst.becns_sent == 1
+    assert src.throttle.becns == 1
+    # the CCTI was raised (and has decayed back via the CCTI_Timer)
+    assert src.throttle.max_ccti_seen == 1
+    assert src.throttle.ccti(3) == 0
+
+
+def test_becn_for_other_node_ignored():
+    fab = build_fabric(config1_adhoc(), scheme="CCFIT", seed=0)
+    from repro.network.packet import Becn
+
+    node = fab.nodes[0]
+    node.receive_control(Becn(src=3, dst=5, congested_destination=3), node.downlink)
+    assert node.throttle.becns == 0
+
+
+def test_staging_modes_by_scheme():
+    for scheme, mode in [
+        ("1Q", "fifo"),
+        ("ITh", "fifo"),
+        ("VOQsw", "fifo"),
+        ("FBICM", "isolation"),
+        ("CCFIT", "isolation"),
+        ("VOQnet", "bypass"),
+    ]:
+        fab = build_fabric(config1_adhoc(), scheme=scheme, seed=0)
+        assert fab.nodes[0].staging_mode == mode, scheme
+
+
+def test_bypass_mode_has_no_stage():
+    fab = build_fabric(config1_adhoc(), scheme="VOQnet", seed=0)
+    assert fab.nodes[0].stage is None
+    node = fab.nodes[0]
+    node.offer(Packet(0, 3, 2048, "f"))
+    fab.run(until=10_000.0)
+    assert node.packets_injected == 1
+
+
+def test_throttle_only_on_throttling_schemes():
+    for scheme, has in [("1Q", False), ("FBICM", False), ("ITh", True), ("CCFIT", True)]:
+        fab = build_fabric(config1_adhoc(), scheme=scheme, seed=0)
+        assert (fab.nodes[0].throttle is not None) == has, scheme
+
+
+def test_invalid_staging_mode_rejected():
+    from repro.network.endnode import EndNode
+    from repro.sim.engine import Simulator
+
+    with pytest.raises(ValueError):
+        EndNode(Simulator(), 0, 4, CCParams(), staging="warp")
+
+
+def test_ia_participates_in_tree_protocol():
+    """§III-B/D: the first switch announces the congestion tree to the
+    IA, which allocates its own CFQ, isolates the hot packets in its
+    staging buffer, and obeys Stop/Go."""
+    from repro.traffic.flows import FlowSpec, attach_traffic
+
+    fab = build_fabric(config1_adhoc(), scheme="FBICM", seed=0)
+    attach_traffic(
+        fab,
+        flows=[
+            # node 1 sends BOTH hot and cool traffic: the IA must keep
+            # the cool flow moving while its hot packets sit isolated
+            FlowSpec("hot", src=1, dst=4, rate=1.5),
+            FlowSpec("cool", src=1, dst=3, rate=1.0),
+            FlowSpec("hot2", src=2, dst=4, rate=2.5),
+            FlowSpec("hot5", src=5, dst=4, rate=2.5),
+            FlowSpec("hot6", src=6, dst=4, rate=2.5),
+        ],
+    )
+    fab.run(until=2_000_000.0)
+    ia = fab.nodes[1]
+    assert 4 in ia._announced, "tree never announced to the IA"
+    line = ia.stage_scheme.cam.lookup(4)
+    assert line is not None, "IA never allocated a CFQ"
+    # the cool flow keeps its full rate despite sharing the IA
+    cool = fab.collector.flow_bandwidth("cool", 1_000_000.0, 2_000_000.0)
+    assert cool == pytest.approx(1.0, rel=0.1)
+
+
+def test_small_packets_and_marking_size_floor():
+    """The Packet_Size marking parameter end-to-end: flows of small
+    packets cross a congested port unmarked when min_marking_size
+    exceeds their size, so their source is never throttled."""
+    from repro.traffic.flows import FlowSpec, attach_traffic
+
+    params = CCParams(min_marking_size=1024)
+    fab = build_fabric(config1_adhoc(), scheme="CCFIT", params=params, seed=0)
+    attach_traffic(
+        fab,
+        flows=[
+            FlowSpec("small", src=1, dst=4, rate=1.25, packet_size=512),
+            FlowSpec("big", src=2, dst=4, rate=2.5),
+            FlowSpec("big5", src=5, dst=4, rate=2.5),
+            FlowSpec("big6", src=6, dst=4, rate=2.5),
+        ],
+    )
+    fab.run(until=2_000_000.0)
+    assert fab.stats()["fecn_marked"] > 0
+    # only the big-packet sources were throttled
+    assert fab.nodes[1].throttle.becns == 0
+    assert fab.nodes[2].throttle.becns + fab.nodes[5].throttle.becns > 0

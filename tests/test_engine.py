@@ -1,0 +1,165 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30.0, fired.append, "c")
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(20.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_equal_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in range(20):
+        sim.schedule(5.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(20))
+
+
+def test_handler_scheduling_at_now_runs_same_instant_after_peers():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(sim.now, fired.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second", "nested"]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_in(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(10.0, fired.append, "x")
+    sim.schedule(5.0, fired.append, "y")
+    ev.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(10.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+    assert sim.events_dispatched == 0
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(20.0, fired.append, "b")
+    sim.run(until=10.0)
+    assert fired == ["a"]
+    assert sim.now == 10.0
+    sim.run(until=15.0)
+    assert fired == ["a"]
+    assert sim.now == 15.0  # clock advances even with no events
+    sim.run(until=25.0)
+    assert fired == ["a", "b"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    sim.run(max_events=100)
+    assert fired == list(range(10))
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    evs = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending() == 5
+    evs[0].cancel()
+    assert sim.pending() == 4
+    sim.drain(evs)
+    assert sim.pending() == 0
+
+
+def test_call_every_fires_periodically():
+    sim = Simulator()
+    fired = []
+    sim.call_every(10.0, lambda: fired.append(sim.now))
+    sim.run(until=55.0)
+    assert fired == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+
+def test_call_every_start_and_end():
+    sim = Simulator()
+    fired = []
+    sim.call_every(10.0, lambda: fired.append(sim.now), start=5.0, end=25.0)
+    sim.run(until=100.0)
+    assert fired == [5.0, 15.0, 25.0]
+
+
+def test_call_every_cancel_stops_chain():
+    sim = Simulator()
+    fired = []
+    task = sim.call_every(10.0, lambda: fired.append(sim.now))
+    sim.run(until=25.0)
+    task.cancel()
+    sim.run(until=100.0)
+    assert fired == [10.0, 20.0]
+
+
+def test_event_repr_mentions_state():
+    ev = Event(1.0, 0, lambda: None, ())
+    assert "pending" in repr(ev)
+    ev.cancel()
+    assert "cancelled" in repr(ev)
+
+
+def test_events_dispatched_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_dispatched == 7

@@ -1,0 +1,418 @@
+"""Unit tests for the NFQ+CFQ isolation scheme and tree protocol.
+
+Uses a fake host so every protocol step (detection, post-processing,
+propagation, Stop/Go, deallocation, congestion state) can be observed
+in isolation from the switch.
+"""
+
+import pytest
+
+from repro.core.cam import OutputCamLine
+from repro.core.isolation import NfqCfqScheme
+from repro.core.params import CCParams, MTU
+from repro.network.packet import CfqAlloc, CfqDealloc, CfqGo, CfqStop, Packet
+from repro.network.buffers import BufferPool
+from repro.sim.engine import Simulator
+
+
+class FakeIsolationHost:
+    def __init__(self, **overrides):
+        defaults = dict(
+            detection_threshold=4 * MTU,
+            propagation_threshold=4 * MTU,
+            cfq_stop=10 * MTU,
+            cfq_go=4 * MTU,
+            cfq_high=8 * MTU,
+            cfq_low=1 * MTU,
+            cfq_min_lifetime=1e12,  # tests opt into deallocation explicitly
+            cfq_high_dwell=0.0,
+        )
+        defaults.update(overrides)
+        self.sim = Simulator()
+        self.params = CCParams(**defaults)
+        self.pool = BufferPool(self.params.memory_size)
+        self.name = "fake"
+        self.sent_upstream = []
+        self.hot_changes = []
+        self.announced = {}
+        self.kicks = 0
+
+    def route(self, pkt):
+        return 0
+
+    def kick(self):
+        self.kicks += 1
+
+    def now(self):
+        return self.sim.now
+
+    def schedule(self, delay, fn):
+        self.sim.schedule_in(delay, fn)
+
+    def send_upstream(self, msg):
+        self.sent_upstream.append(msg)
+
+    def announced_tree(self, dest):
+        return self.announced.get(dest)
+
+    def root_cfq_hot_changed(self, dest, hot):
+        self.hot_changes.append((dest, hot))
+
+    def set_output_hot(self, out_port, source, hot):
+        pass
+
+
+def pkt(dst, size=MTU):
+    return Packet(0, dst, size, f"to{dst}")
+
+
+def fill(scheme, dst, count):
+    for _ in range(count):
+        scheme.on_arrival(pkt(dst))
+
+
+def make(drive=True, **overrides):
+    host = FakeIsolationHost(**overrides)
+    return host, NfqCfqScheme(host, drive_congestion_state=drive)
+
+
+class TestDetectionAndPostProcessing:
+    def test_below_threshold_no_detection(self):
+        host, s = make()
+        fill(s, 5, 3)  # 3 MTU < 4 MTU threshold
+        assert s.cam.lines() == []
+        assert len(s.nfq) == 3
+
+    def test_detection_allocates_root_cfq_and_moves_packets(self):
+        host, s = make()
+        fill(s, 5, 4)
+        (line,) = s.cam.lines()
+        assert line.dest == 5 and line.root
+        # post-processing drained the NFQ into the CFQ
+        assert s.nfq.empty
+        assert len(s.cfqs[line.cfq_index]) == 4
+
+    def test_dominant_destination_blamed_not_head(self):
+        host, s = make()
+        s.on_arrival(pkt(9))  # innocent head
+        fill(s, 5, 3)
+        (line,) = s.cam.lines()
+        assert line.dest == 5
+        # post-processing is head-granular (§III-C): the innocent head
+        # stays put and the culprits move only as they reach the head.
+        assert s.nfq.head().dst == 9
+        assert len(s.cfqs[line.cfq_index]) == 0
+        s.nfq.pop()  # the head departs (forwarded by the switch)
+        s.after_dequeue(s.nfq)
+        assert len(s.cfqs[line.cfq_index]) == 3
+        assert s.nfq.empty
+
+    def test_head_policy_blames_head(self):
+        host, s = make(detection_policy="head")
+        s.on_arrival(pkt(9))
+        fill(s, 5, 3)
+        (line,) = s.cam.lines()
+        assert line.dest == 9
+
+    def test_tracked_bytes_do_not_retrigger_detection(self):
+        host, s = make()
+        fill(s, 5, 4)  # detected; CFQ holds dest 5
+        s.on_arrival(pkt(7))
+        s.on_arrival(pkt(7))
+        s.on_arrival(pkt(7))
+        # 3 MTU of untracked dest-7 bytes: below threshold, no new line
+        assert len(s.cam.lines()) == 1
+
+    def test_second_tree_uses_second_cfq(self):
+        host, s = make()
+        fill(s, 5, 4)
+        fill(s, 7, 4)
+        dests = sorted(l.dest for l in s.cam.lines())
+        assert dests == [5, 7]
+
+    def test_cam_exhaustion_counts_and_forwards(self):
+        host, s = make()
+        fill(s, 5, 4)
+        fill(s, 7, 4)
+        fill(s, 9, 5)  # third tree: out of CFQs
+        assert len(s.cam.lines()) == 2
+        assert s.cam.alloc_failures > 0
+        # the unisolated congested head still requests its output
+        heads = s.eligible_heads()
+        assert any(q is s.nfq for q, _o, _p in heads)
+
+    def test_zero_cfqs_degenerates_to_single_queue(self):
+        host, s = make(num_cfqs=0)
+        fill(s, 5, 10)
+        assert s.cam.lines() == []
+        assert len(s.nfq) == 10
+
+    def test_arrivals_while_line_live_move_on_reaching_head(self):
+        host, s = make()
+        fill(s, 5, 4)
+        line = s.cam.lookup(5)
+        s.on_arrival(pkt(5))
+        assert len(s.cfqs[line.cfq_index]) == 5
+        assert s.nfq.empty
+
+
+class TestPropagationAndStopGo:
+    def test_propagation_threshold_sends_alloc(self):
+        host, s = make()
+        fill(s, 5, 4)  # CFQ occupancy = 4 MTU = propagation threshold
+        kinds = [type(m) for m in host.sent_upstream]
+        assert CfqAlloc in kinds
+        assert s.cam.lookup(5).propagated
+
+    def test_stop_threshold_sends_stop_then_go(self):
+        host, s = make()
+        fill(s, 5, 10)
+        kinds = [type(m) for m in host.sent_upstream]
+        assert kinds.count(CfqStop) == 1
+        line = s.cam.lookup(5)
+        assert line.stop_sent
+        # drain to the Go threshold
+        cfq = s.cfqs[line.cfq_index]
+        while cfq.bytes > host.params.cfq_go:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        assert not line.stop_sent
+        assert any(isinstance(m, CfqGo) for m in host.sent_upstream)
+
+    def test_stopped_line_not_eligible(self):
+        host, s = make()
+        fill(s, 5, 4)
+        s.tree_stopped(5, True)
+        assert all(q is s.nfq for q, _o, _p in s.eligible_heads() if not q.empty)
+        s.tree_stopped(5, False)
+        assert any(q is not s.nfq for q, _o, _p in s.eligible_heads())
+
+    def test_announced_tree_adopted_as_non_root(self):
+        host, s = make()
+        host.announced[8] = OutputCamLine(8)
+        s.on_arrival(pkt(8))
+        (line,) = s.cam.lines()
+        assert line.dest == 8 and not line.root
+        assert s.nfq.empty
+
+    def test_announced_tree_inherits_stop_state(self):
+        host, s = make()
+        rec = OutputCamLine(8)
+        rec.stopped = True
+        host.announced[8] = rec
+        s.on_arrival(pkt(8))
+        (line,) = s.cam.lines()
+        assert line.stopped
+
+    def test_detection_with_announcement_is_not_root(self):
+        host, s = make()
+        host.announced[5] = OutputCamLine(5)
+        fill(s, 5, 4)
+        (line,) = s.cam.lines()
+        assert not line.root
+
+    def test_stop_demotes_root(self):
+        """A true root's downstream never stops it; receiving Stop
+        reclassifies the line as non-root (no marking)."""
+        host, s = make()
+        fill(s, 5, 4)
+        assert s.cam.lookup(5).root
+        s.tree_stopped(5, True)
+        assert not s.cam.lookup(5).root
+
+    def test_announce_demotes_root(self):
+        host, s = make()
+        fill(s, 5, 4)
+        host.announced[5] = OutputCamLine(5)
+        s.on_tree_announced()
+        assert not s.cam.lookup(5).root
+
+
+class TestDeallocation:
+    def test_empty_line_in_go_deallocates(self):
+        host, s = make(cfq_min_lifetime=0.0)
+        fill(s, 5, 4)
+        line = s.cam.lookup(5)
+        cfq = s.cfqs[line.cfq_index]
+        while not cfq.empty:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        assert s.cam.lookup(5) is None
+        assert any(isinstance(m, CfqDealloc) for m in host.sent_upstream)
+
+    def test_stopped_line_does_not_deallocate(self):
+        host, s = make(cfq_min_lifetime=0.0)
+        fill(s, 5, 4)
+        line = s.cam.lookup(5)
+        s.tree_stopped(5, True)
+        cfq = s.cfqs[line.cfq_index]
+        while not cfq.empty:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        assert s.cam.lookup(5) is line
+
+    def test_min_lifetime_defers_deallocation(self):
+        host, s = make(cfq_min_lifetime=5_000.0)
+        fill(s, 5, 4)
+        line = s.cam.lookup(5)
+        cfq = s.cfqs[line.cfq_index]
+        while not cfq.empty:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        assert s.cam.lookup(5) is line  # hysteresis holds it
+        host.sim.run(until=10_000.0)
+        assert s.cam.lookup(5) is None
+
+    def test_unpropagated_line_sends_no_dealloc(self):
+        host, s = make(propagation_threshold=100 * MTU, cfq_min_lifetime=0.0)
+        fill(s, 5, 4)
+        line = s.cam.lookup(5)
+        cfq = s.cfqs[line.cfq_index]
+        while not cfq.empty:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        assert not any(isinstance(m, CfqDealloc) for m in host.sent_upstream)
+
+    def test_orphaned_line_drains_and_frees(self):
+        host, s = make()
+        host.announced[8] = OutputCamLine(8)
+        s.on_arrival(pkt(8))
+        del host.announced[8]
+        s.tree_orphaned(8)
+        line = s.cam.lookup(8)
+        assert line.orphaned
+        cfq = s.cfqs[line.cfq_index]
+        cfq.pop()
+        s.after_dequeue(cfq)
+        assert s.cam.lookup(8) is None
+
+    def test_orphaned_line_stops_capturing(self):
+        host, s = make()
+        host.announced[8] = OutputCamLine(8)
+        s.on_arrival(pkt(8))
+        del host.announced[8]
+        s.tree_orphaned(8)
+        s.on_arrival(pkt(8))  # no live tree: stays in the NFQ
+        assert s.nfq.head().dst == 8
+
+    def test_reannouncement_revives_orphan(self):
+        host, s = make()
+        host.announced[8] = OutputCamLine(8)
+        s.on_arrival(pkt(8))
+        s.tree_orphaned(8)
+        host.announced[8] = OutputCamLine(8)
+        s.on_arrival(pkt(8))
+        line = s.cam.lookup(8)
+        assert not line.orphaned
+        assert len(s.cfqs[line.cfq_index]) == 2
+
+    def test_detection_revives_orphan_as_root(self):
+        host, s = make()
+        host.announced[8] = OutputCamLine(8)
+        s.on_arrival(pkt(8))
+        del host.announced[8]
+        s.tree_orphaned(8)
+        fill(s, 8, 4)
+        line = s.cam.lookup(8)
+        assert line.root and not line.orphaned
+
+
+class TestCongestionState:
+    def test_root_above_high_goes_hot(self):
+        host, s = make(cfq_high_dwell=0.0)
+        fill(s, 5, 8)  # 8 MTU = high
+        assert (5, True) in host.hot_changes
+
+    def test_non_root_never_hot(self):
+        host, s = make(cfq_high_dwell=0.0)
+        host.announced[5] = OutputCamLine(5)
+        fill(s, 5, 9)
+        assert host.hot_changes == []
+
+    def test_drain_to_low_clears_hot(self):
+        host, s = make(cfq_high_dwell=0.0)
+        fill(s, 5, 8)
+        line = s.cam.lookup(5)
+        cfq = s.cfqs[line.cfq_index]
+        while cfq.bytes > host.params.cfq_low:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        assert host.hot_changes[-1] == (5, False)
+
+    def test_dwell_defers_congestion_state(self):
+        host, s = make(cfq_high_dwell=1_000.0)
+        fill(s, 5, 8)
+        assert host.hot_changes == []
+        host.sim.run(until=2_000.0)
+        assert (5, True) in host.hot_changes
+
+    def test_dwell_cancelled_by_drain_to_low(self):
+        host, s = make(cfq_high_dwell=1_000.0)
+        fill(s, 5, 8)
+        line = s.cam.lookup(5)
+        cfq = s.cfqs[line.cfq_index]
+        while not cfq.empty:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        host.sim.run(until=2_000.0)
+        assert (5, True) not in host.hot_changes
+
+    def test_dwell_survives_stop_go_sawtooth(self):
+        """Dipping to the Go threshold (not Low) must not disarm."""
+        host, s = make(cfq_high_dwell=1_000.0)
+        fill(s, 5, 10)
+        line = s.cam.lookup(5)
+        cfq = s.cfqs[line.cfq_index]
+        while cfq.bytes > host.params.cfq_go:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        host.sim.run(until=2_000.0)
+        assert (5, True) in host.hot_changes
+
+    def test_fbicm_mode_never_marks(self):
+        host, s = make(drive=False, cfq_high_dwell=0.0)
+        fill(s, 5, 12)
+        assert host.hot_changes == []
+
+    def test_dealloc_while_hot_clears_congestion_state(self):
+        host, s = make(cfq_high_dwell=0.0, cfq_min_lifetime=0.0)
+        fill(s, 5, 8)
+        line = s.cam.lookup(5)
+        cfq = s.cfqs[line.cfq_index]
+        while not cfq.empty:
+            cfq.pop()
+        s.after_dequeue(cfq)
+        assert host.hot_changes[-1] == (5, False)
+        assert s.cam.lookup(5) is None
+
+
+class TestRearmWindow:
+    def _drain_to_exit(self, host, s, line):
+        cfq = s.cfqs[line.cfq_index]
+        while cfq.bytes > host.params.cfq_cs_exit:
+            cfq.pop()
+        s.after_dequeue(cfq)
+
+    def test_recently_hot_line_skips_the_dwell(self):
+        host, s = make(cfq_high_dwell=1_000.0, cfq_rearm_window=10_000.0)
+        fill(s, 5, 8)
+        host.sim.run(until=2_000.0)  # serve the first dwell
+        assert host.hot_changes == [(5, True)]
+        line = s.cam.lookup(5)
+        self._drain_to_exit(host, s, line)
+        assert host.hot_changes[-1] == (5, False)
+        # refill within the rearm window: hot again instantly, no dwell
+        fill(s, 5, 8)
+        assert host.hot_changes[-1] == (5, True)
+
+    def test_rearm_window_expires(self):
+        host, s = make(cfq_high_dwell=1_000.0, cfq_rearm_window=5_000.0)
+        fill(s, 5, 8)
+        host.sim.run(until=2_000.0)
+        line = s.cam.lookup(5)
+        self._drain_to_exit(host, s, line)
+        host.sim.run(until=20_000.0)  # window long gone
+        fill(s, 5, 8)
+        assert host.hot_changes[-1] == (5, False)  # back to dwelling
+        host.sim.run(until=25_000.0)
+        assert host.hot_changes[-1] == (5, True)

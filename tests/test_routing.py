@@ -1,0 +1,53 @@
+"""Unit tests for routing tables and the BFS route builder."""
+
+import pytest
+
+from repro.network.routing import RoutingTable, build_routing
+from repro.network.topology import config1_adhoc, k_ary_n_tree
+
+
+def test_routing_table_lookup():
+    topo = config1_adhoc()
+    rt = RoutingTable.from_topology(topo, 0)
+    assert rt.lookup(0) == 0
+    assert rt.lookup(4) == 3  # remote -> inter-switch port
+    assert 4 in rt
+    assert len(rt) == 7
+
+
+def test_lookup_unroutable_raises_keyerror():
+    rt = RoutingTable(0, {0: 0})
+    with pytest.raises(KeyError):
+        rt.lookup(99)
+
+
+def test_bfs_routes_deliver_on_config1():
+    topo = config1_adhoc()
+    topo.routes = build_routing(topo)
+    topo.validate()  # follows every (src, dst) pair to delivery
+
+
+def test_bfs_routes_deliver_on_trees():
+    for k, n in [(2, 2), (2, 3), (3, 2)]:
+        topo = k_ary_n_tree(k, n)
+        topo.routes = build_routing(topo)
+        topo.validate()
+
+
+def test_bfs_paths_are_shortest():
+    """On a 2-ary 3-tree the BFS path length must match the DET path
+    length for every pair (DET is minimal in a fat tree)."""
+    det = k_ary_n_tree(2, 3)
+    bfs = k_ary_n_tree(2, 3)
+    bfs.routes = build_routing(bfs)
+    for src in range(8):
+        for dst in range(8):
+            if src == dst:
+                continue
+            assert len(bfs.path(src, dst)) == len(det.path(src, dst))
+
+
+def test_bfs_is_deterministic():
+    a = build_routing(k_ary_n_tree(2, 3))
+    b = build_routing(k_ary_n_tree(2, 3))
+    assert a == b

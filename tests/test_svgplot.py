@@ -1,0 +1,98 @@
+"""Tests for the dependency-free SVG plotter."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.metrics.svgplot import LineChart, _nice_ticks, chart_results
+
+
+def simple_chart():
+    chart = LineChart(title="T", xlabel="x", ylabel="y")
+    chart.add_series("a", [0, 1, 2], [0.0, 2.5, 1.0])
+    chart.add_series("b", [0, 1, 2], [1.0, 1.0, 1.0])
+    return chart
+
+
+def test_render_is_valid_xml_with_expected_parts():
+    svg = simple_chart().render()
+    root = ET.fromstring(svg)  # raises on malformed XML
+    assert root.tag.endswith("svg")
+    assert svg.count("<polyline") == 2
+    for label in ("T", "x", "y", "a", "b"):
+        assert f">{label}</text>" in svg
+
+
+def test_write_roundtrip(tmp_path):
+    path = tmp_path / "out.svg"
+    assert simple_chart().write(str(path)) == str(path)
+    assert path.read_text().startswith("<svg")
+
+
+def test_series_validation():
+    chart = LineChart()
+    with pytest.raises(ValueError):
+        chart.add_series("bad", [1, 2], [1.0])
+    with pytest.raises(ValueError):
+        chart.add_series("empty", [], [])
+    with pytest.raises(ValueError):
+        LineChart().render()
+
+
+def test_points_stay_inside_canvas():
+    chart = LineChart(width=400, height=300)
+    chart.add_series("s", list(range(50)), [float(i % 7) for i in range(50)])
+    svg = chart.render()
+    pts = svg.split('points="')[1].split('"')[0].split()
+    for pt in pts:
+        x, y = map(float, pt.split(","))
+        assert 0 <= x <= 400
+        assert 0 <= y <= 300
+
+
+def test_nice_ticks_cover_range():
+    ticks = _nice_ticks(0.0, 123.0)
+    assert ticks[0] <= 0.0 + 1e-9
+    assert ticks[-1] <= 123.0 + 1e-9
+    assert all(b > a for a, b in zip(ticks, ticks[1:]))
+    assert 3 <= len(ticks) <= 9
+
+
+def test_flat_series_does_not_divide_by_zero():
+    chart = LineChart(y_min=None)
+    chart.add_series("flat", [0, 1], [5.0, 5.0])
+    assert "<polyline" in chart.render()
+
+
+def test_chart_results_throughput_mode():
+    from repro.experiments.runner import CaseResult
+
+    res = {
+        s: CaseResult(
+            scheme=s,
+            duration=300.0,
+            throughput=(np.array([50.0, 150.0]), np.array([1.0, 2.0])),
+        )
+        for s in ("1Q", "CCFIT")
+    }
+    svg = chart_results(res, "Fig X").render()
+    assert svg.count("<polyline") == 2
+    assert ">CCFIT</text>" in svg
+
+
+def test_chart_results_per_flow_mode():
+    from repro.experiments.runner import CaseResult
+
+    res = CaseResult(
+        scheme="CCFIT",
+        duration=300.0,
+        throughput=(np.array([50.0]), np.array([1.0])),
+        flow_series={
+            "F0": (np.array([50.0, 150.0]), np.array([1.0, 2.0])),
+            "F1": (np.array([50.0, 150.0]), np.array([0.5, 0.5])),
+        },
+    )
+    svg = chart_results({"CCFIT": res}, "Fig 9", per_flow=True).render()
+    assert svg.count("<polyline") == 2
+    assert "CCFIT" in svg

@@ -1,0 +1,181 @@
+"""Unit tests for topology builders and validation."""
+
+import pytest
+
+from repro.network.topology import (
+    SwitchSpec,
+    Topology,
+    TopologyError,
+    config1_adhoc,
+    k_ary_n_tree,
+)
+
+
+class TestKAryNTree:
+    def test_2ary_3tree_matches_table1(self):
+        topo = k_ary_n_tree(2, 3)
+        assert topo.num_nodes == 8
+        assert topo.num_switches == 12  # n * k^(n-1) = 3 * 4
+
+    def test_4ary_3tree_matches_table1(self):
+        topo = k_ary_n_tree(4, 3)
+        assert topo.num_nodes == 64
+        assert topo.num_switches == 48  # 3 * 16
+
+    def test_switch_radix_is_2k(self):
+        topo = k_ary_n_tree(4, 3)
+        assert all(s.num_ports == 8 for s in topo.switches)
+
+    def test_levels_partition_switches(self):
+        topo = k_ary_n_tree(2, 3)
+        per_level = {}
+        for s in topo.switches:
+            per_level.setdefault(s.level, 0)
+            per_level[s.level] += 1
+        assert per_level == {0: 4, 1: 4, 2: 4}
+
+    def test_nodes_attach_to_leaf_switches_only(self):
+        topo = k_ary_n_tree(2, 3)
+        for nid, (sw, port, _bw) in topo.node_attach.items():
+            assert topo.switches[sw].level == 0
+            assert port == nid % 2
+            assert sw == nid // 2
+
+    def test_validates_and_routes_all_pairs(self):
+        k_ary_n_tree(2, 3).validate()
+        k_ary_n_tree(3, 2).validate()
+
+    def test_paths_to_same_destination_converge(self):
+        """DET routing: once two paths towards one destination meet,
+        they stay together — a single tree per destination."""
+        topo = k_ary_n_tree(2, 3)
+        dst = 7
+        suffixes = []
+        for src in range(topo.num_nodes - 1):
+            hops = topo.path(src, dst)
+            suffixes.append(tuple(hops))
+        # any two paths share their suffix after the first common switch
+        for a in suffixes:
+            for b in suffixes:
+                shared = {sw for sw, _ in a} & {sw for sw, _ in b}
+                if not shared:
+                    continue
+                ai = min(i for i, (sw, _) in enumerate(a) if sw in shared)
+                bi = min(i for i, (sw, _) in enumerate(b) if sw in shared)
+                assert a[ai:] == b[bi:]
+
+    def test_up_down_paths_have_no_level_bounce(self):
+        """Paths ascend to one apex then only descend (deadlock-free)."""
+        topo = k_ary_n_tree(4, 3)
+        levels = {s.id: s.level for s in topo.switches}
+        for src, dst in [(0, 63), (5, 6), (17, 42), (63, 0)]:
+            path_levels = [levels[sw] for sw, _ in topo.path(src, dst)]
+            apex = path_levels.index(max(path_levels))
+            assert path_levels[: apex + 1] == sorted(path_levels[: apex + 1])
+            assert path_levels[apex:] == sorted(path_levels[apex:], reverse=True)
+
+    def test_intra_leaf_route_is_one_hop(self):
+        topo = k_ary_n_tree(2, 3)
+        assert len(topo.path(0, 1)) == 1
+
+    def test_max_path_crosses_2n_minus_1_switches(self):
+        topo = k_ary_n_tree(2, 3)
+        assert max(len(topo.path(s, d)) for s in range(8) for d in range(8) if s != d) == 5
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(TopologyError):
+            k_ary_n_tree(1, 3)
+        with pytest.raises(TopologyError):
+            k_ary_n_tree(2, 0)
+
+    def test_crossbar_defaults_to_link_bandwidth(self):
+        assert k_ary_n_tree(2, 3, bandwidth=2.5).effective_crossbar_bw() == 2.5
+
+
+class TestConfig1:
+    def test_structure_matches_table1(self):
+        topo = config1_adhoc()
+        assert topo.num_nodes == 7
+        assert topo.num_switches == 2
+        topo.validate()
+
+    def test_crossbar_is_5_gbs(self):
+        assert config1_adhoc().effective_crossbar_bw() == 5.0
+
+    def test_interswitch_link_is_faster(self):
+        topo = config1_adhoc()
+        (_a, _pa, _b, _pb, bw), = topo.switch_links
+        assert bw == 5.0
+        assert all(b == 2.5 for (_s, _p, b) in topo.node_attach.values())
+
+    def test_victim_shares_input_port_with_remote_contributors(self):
+        """F0 (0->3), F1 (1->4) and F2 (2->4) all enter switch 1 via the
+        inter-switch port — the victimisation setting of Case #1."""
+        topo = config1_adhoc()
+        entry_ports = set()
+        for src in (0, 1, 2):
+            hops = topo.path(src, 4 if src else 3)
+            sw0_out = hops[0]
+            nb = topo.neighbor(*sw0_out)
+            assert nb[0] == "switch" and nb[1] == 1
+            entry_ports.add(nb[2])
+        assert len(entry_ports) == 1
+
+    def test_local_contributors_have_private_ports(self):
+        topo = config1_adhoc()
+        p5 = topo.node_attach[5][1]
+        p6 = topo.node_attach[6][1]
+        assert p5 != p6
+
+
+class TestValidation:
+    def _tiny(self):
+        return Topology(
+            name="tiny",
+            num_nodes=2,
+            switches=[SwitchSpec(id=0, num_ports=2)],
+            node_attach={0: (0, 0, 2.5), 1: (0, 1, 2.5)},
+            switch_links=[],
+            routes={(0, 0): 0, (0, 1): 1},
+        )
+
+    def test_tiny_is_valid(self):
+        self._tiny().validate()
+
+    def test_port_reuse_detected(self):
+        topo = self._tiny()
+        topo.node_attach[1] = (0, 0, 2.5)
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_missing_route_detected(self):
+        topo = self._tiny()
+        del topo.routes[(0, 1)]
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_route_to_wrong_node_detected(self):
+        topo = self._tiny()
+        topo.routes[(0, 1)] = 0  # points at node 0 instead of node 1
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_routing_loop_detected(self):
+        topo = Topology(
+            name="loop",
+            num_nodes=2,
+            switches=[SwitchSpec(0, 3), SwitchSpec(1, 3)],
+            node_attach={0: (0, 0, 2.5), 1: (1, 0, 2.5)},
+            switch_links=[(0, 1, 1, 1, 2.5), (0, 2, 1, 2, 2.5)],
+            routes={(0, 0): 0, (0, 1): 1, (1, 1): 0, (1, 0): 1},
+        )
+        # break: route for dst 1 at switch 1 bounces back to switch 0
+        topo.routes[(1, 1)] = 1
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_bad_bandwidth_detected(self):
+        topo = self._tiny()
+        topo.node_attach[0] = (0, 0, 0.0)
+        with pytest.raises(TopologyError):
+            topo.validate()

@@ -1,0 +1,95 @@
+"""Protocol-trace tests (and, through them, protocol-dynamics checks)."""
+
+import pytest
+
+from repro.metrics.trace import ProtocolTrace, TraceEvent
+from repro.network.fabric import build_fabric
+from repro.network.topology import config1_adhoc
+from repro.traffic.flows import FlowSpec, attach_traffic
+
+
+def hot_fabric(scheme="CCFIT"):
+    fab = build_fabric(config1_adhoc(), scheme=scheme, seed=5)
+    trace = ProtocolTrace().attach(fab)
+    attach_traffic(
+        fab,
+        flows=[
+            FlowSpec("h1", src=1, dst=4, rate=2.5, end=1_000_000.0),
+            FlowSpec("h2", src=2, dst=4, rate=2.5, end=1_000_000.0),
+            FlowSpec("h5", src=5, dst=4, rate=2.5, end=1_000_000.0),
+        ],
+    )
+    return fab, trace
+
+
+def test_trace_records_full_tree_lifecycle():
+    fab, trace = hot_fabric()
+    fab.run(until=3_000_000.0)
+    kinds = trace.counts()
+    for expected in ("detect", "adopt", "stop", "go", "dealloc", "cs-enter",
+                     "fecn", "becn"):
+        assert kinds.get(expected, 0) > 0, f"no {expected} events traced"
+
+
+def test_trace_query_filters():
+    fab, trace = hot_fabric()
+    fab.run(until=1_500_000.0)
+    detects = trace.query(kind="detect")
+    assert detects and all(e.kind == "detect" for e in detects)
+    for_dest = trace.query(dest=4)
+    assert for_dest and all(e.dest == 4 for e in for_dest)
+    both = trace.query(kind="detect", dest=4)
+    assert set(both) <= set(detects)
+
+
+def test_tree_lifetimes_are_positive_and_closed():
+    fab, trace = hot_fabric()
+    fab.run(until=3_000_000.0)
+    lifetimes = trace.tree_lifetimes()
+    assert lifetimes, "no tree ever completed its lifecycle"
+    for entry in lifetimes:
+        assert entry["lifetime"] > 0
+        assert entry["end"] <= 3_000_000.0
+
+
+def test_reaction_latency_is_fast_for_ccfit():
+    """The combined mechanism's selling point: from local detection to
+    the first source-side BECN within a fraction of a millisecond."""
+    fab, trace = hot_fabric()
+    fab.run(until=2_000_000.0)
+    latency = trace.reaction_latency(4)
+    assert latency is not None
+    assert 0 < latency < 500_000.0  # well under half a millisecond
+
+
+def test_fbicm_traces_have_no_marking():
+    fab, trace = hot_fabric(scheme="FBICM")
+    fab.run(until=1_000_000.0)
+    kinds = trace.counts()
+    assert kinds.get("detect", 0) > 0
+    assert kinds.get("fecn", 0) == 0
+    assert kinds.get("becn", 0) == 0
+
+
+def test_double_attach_rejected():
+    fab = build_fabric(config1_adhoc(), scheme="CCFIT", seed=5)
+    trace = ProtocolTrace().attach(fab)
+    with pytest.raises(RuntimeError):
+        trace.attach(fab)
+
+
+def test_event_limit_bounds_memory():
+    fab = build_fabric(config1_adhoc(), scheme="CCFIT", seed=5)
+    trace = ProtocolTrace(limit=10).attach(fab)
+    attach_traffic(
+        fab,
+        flows=[FlowSpec(f"h{s}", src=s, dst=4, rate=2.5) for s in (1, 2, 5)],
+    )
+    fab.run(until=2_000_000.0)
+    assert len(trace.events) == 10
+
+
+def test_event_str_is_readable():
+    e = TraceEvent(time=12_345.0, kind="detect", where="sw1.in4", dest=4, detail="cfq0")
+    s = str(e)
+    assert "detect" in s and "sw1.in4" in s and "dest=4" in s

@@ -1,0 +1,155 @@
+"""Unit tests for traffic generation and the paper's traffic cases."""
+
+import pytest
+
+from repro.network.fabric import build_fabric
+from repro.network.topology import config1_adhoc, k_ary_n_tree
+from repro.traffic.flows import FlowSpec, attach_traffic
+from repro.traffic.patterns import (
+    CASE2_HOT_NODE,
+    CASE2_SECOND_HOT_NODE,
+    case1_flows,
+    case2_flows,
+    case3_traffic,
+    case4_hot_destinations,
+    case4_hot_senders,
+    case4_traffic,
+)
+
+
+class TestFlowSpec:
+    def test_interval(self):
+        f = FlowSpec("f", src=0, dst=1, rate=2.5, packet_size=2048)
+        assert f.interval == pytest.approx(819.2)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(rate=0.0),
+            dict(src=1, dst=1),
+            dict(start=5.0, end=5.0),
+            dict(packet_size=0),
+        ],
+    )
+    def test_invalid_specs(self, kw):
+        base = dict(src=0, dst=1, rate=2.5)
+        base.update(kw)
+        with pytest.raises(ValueError):
+            FlowSpec("f", **base)
+
+
+class TestGenerators:
+    def test_flow_generator_offers_at_rate(self):
+        fab = build_fabric(config1_adhoc(), scheme="1Q", seed=0)
+        (gen,) = attach_traffic(
+            fab, flows=[FlowSpec("f", src=0, dst=3, rate=2.5, start=0.0, end=81920.0)]
+        )
+        fab.run(until=81920.0)
+        assert gen.offered + gen.rejected == 101  # ticks at 0, T, ..., 100T
+
+    def test_flow_stops_at_end(self):
+        fab = build_fabric(config1_adhoc(), scheme="1Q", seed=0)
+        (gen,) = attach_traffic(
+            fab, flows=[FlowSpec("f", src=0, dst=3, rate=2.5, start=0.0, end=8000.0)]
+        )
+        fab.run(until=100_000.0)
+        assert gen.offered == 10  # ticks at 0 .. 9 * 819.2 ns
+
+    def test_generator_requires_matching_source(self):
+        fab = build_fabric(config1_adhoc(), scheme="1Q", seed=0)
+        from repro.traffic.flows import FlowGenerator
+
+        with pytest.raises(ValueError):
+            FlowGenerator(fab.sim, fab.nodes[1], FlowSpec("f", src=0, dst=3, rate=2.5))
+
+    def test_uniform_generator_spreads_destinations(self):
+        fab = build_fabric(k_ary_n_tree(2, 3), scheme="VOQnet", seed=3)
+        attach_traffic(fab, uniform=[{"node": 0, "rate": 2.5, "name": "u"}])
+        fab.run(until=500_000.0)
+        flows = fab.collector.flows()
+        assert flows == ["u"]
+        # every other node received something
+        delivered = {n.id for n in fab.nodes if n.packets_delivered > 0}
+        assert delivered == set(range(1, 8))
+
+    def test_uniform_generator_excludes_self(self):
+        fab = build_fabric(k_ary_n_tree(2, 3), scheme="VOQnet", seed=3)
+        attach_traffic(fab, uniform=[{"node": 2, "rate": 2.5, "name": "u"}])
+        fab.run(until=300_000.0)
+        assert fab.nodes[2].packets_delivered == 0
+
+    def test_backpressure_rejects_when_advoq_full(self):
+        # 1Q towards a blocked destination: AdVOQ fills, offers bounce.
+        fab = build_fabric(config1_adhoc(), scheme="1Q", seed=0)
+        specs = [
+            FlowSpec("a", src=5, dst=4, rate=2.5),
+            FlowSpec("b", src=6, dst=4, rate=2.5),
+            FlowSpec("c", src=1, dst=4, rate=2.5),
+        ]
+        gens = attach_traffic(fab, flows=specs)
+        fab.run(until=2_000_000.0)
+        assert sum(g.rejected for g in gens) > 0
+
+
+class TestPatterns:
+    def test_case1_structure(self):
+        flows = case1_flows()
+        names = {f.name: f for f in flows}
+        assert set(names) == {"F0", "F1", "F2", "F5", "F6"}
+        assert names["F0"].dst == 3  # the victim
+        assert all(names[f].dst == 4 for f in ("F1", "F2", "F5", "F6"))
+        starts = [names[f].start for f in ("F0", "F1", "F2", "F5", "F6")]
+        assert starts == sorted(starts)
+
+    def test_case1_time_scale(self):
+        flows = case1_flows(time_scale=0.1)
+        assert max(f.end for f in flows) == pytest.approx(1_000_000.0)
+
+    def test_case2_structure(self):
+        flows = case2_flows()
+        by_name = {f.name: f for f in flows}
+        # three contributors onto the primary hot node, two onto the
+        # secondary — "several congestion points" (§IV-A)
+        assert [by_name[n].dst for n in ("F1", "F4", "F2")] == [CASE2_HOT_NODE] * 3
+        assert [by_name[n].dst for n in ("F0", "F3")] == [CASE2_SECOND_HOT_NODE] * 2
+        assert by_name["F1"].start == 0.0  # F1 active the whole simulation
+        # both destinations share the DET ascent plane (d0 digit), so
+        # the two trees mix in shared queues
+        assert CASE2_HOT_NODE % 2 == CASE2_SECOND_HOT_NODE % 2
+
+    def test_case3_adds_uniform_sources(self):
+        flows, uniform = case3_traffic()
+        assert len(flows) == 5
+        assert sorted(u["node"] for u in uniform) == [5, 6, 7]
+
+    def test_case4_sender_and_dest_disjointness(self):
+        senders = case4_hot_senders()
+        assert len(senders) == 16  # 25 % of 64
+        assert all(n % 4 == 3 for n in senders)
+        for trees in (1, 4, 6):
+            dests = case4_hot_destinations(trees)
+            assert len(dests) == len(set(dests)) == trees
+            assert not set(dests) & set(senders)
+
+    def test_case4_group_collision_structure(self):
+        """Destinations within a group share both ascent digits, so
+        their trees collide on ports (the Fig. 8 exhaustion)."""
+        dests = case4_hot_destinations(6)
+        groups = {}
+        for d in dests:
+            groups.setdefault(d % 4, []).append(d)
+        assert sorted(len(g) for g in groups.values()) == [3, 3]
+        for d0, members in groups.items():
+            assert {(m // 4) % 4 for m in members} == {d0}  # same v0
+
+    def test_case4_traffic_counts(self):
+        flows, uniform = case4_traffic(num_trees=4)
+        assert len(flows) == 16
+        assert len(uniform) == 48
+        assert all(f.start == 1_000_000.0 and f.end == 2_000_000.0 for f in flows)
+
+    def test_case4_bad_tree_count(self):
+        with pytest.raises(ValueError):
+            case4_hot_destinations(0)
+        with pytest.raises(ValueError):
+            case4_hot_destinations(9)
