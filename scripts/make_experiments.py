@@ -5,14 +5,23 @@ Runs every figure of §IV at time_scale 1.0 (the paper's 10 ms windows
 for Figs. 7/9/10; the 3 ms Case #4 window for Fig. 8) and writes the
 paper-vs-measured record.  Takes ~15 minutes on a laptop-class core.
 
+The figure grids run through the sweep engine
+(repro.experiments.sweep): ``--jobs N`` fans the independent
+(scheme x case) cells out across N worker processes, and finished
+cells are memoized in the on-disk cache so a re-run (or a prior
+``python -m repro sweep ...``) is served without re-simulating.
+
 Usage:  python scripts/make_experiments.py [output.md]
+                                           [--jobs N] [--scale X]
+                                           [--cache-dir PATH | --no-cache]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
+from repro.experiments import registry
 from repro.experiments.configs import table1
 from repro.experiments.report import (
     render_fig8_summary,
@@ -20,20 +29,38 @@ from repro.experiments.report import (
     render_series,
     render_table,
 )
-from repro.experiments.runner import (
-    FIG8_SCHEMES,
-    PAPER_SCHEMES,
-    run_fig7,
-    run_fig8,
-    run_fig9,
-    run_fig10,
-)
+from repro.experiments.sweep import SweepOptions, default_cache_dir
 from repro.metrics.analysis import jain_index, oscillation_score
 
 SEED = 1
-OUT = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+
+ap = argparse.ArgumentParser(description=__doc__)
+ap.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                help="worker processes for the simulation grids")
+ap.add_argument("--scale", type=float, default=1.0,
+                help="time compression (1.0 = the paper-scale record)")
+ap.add_argument("--cache-dir", type=str, default=None)
+ap.add_argument("--no-cache", action="store_true")
+ARGS = ap.parse_args()
+OUT = ARGS.output
+OPTIONS = SweepOptions(
+    time_scale=ARGS.scale,
+    seed=SEED,
+    jobs=ARGS.jobs,
+    cache_dir=None if ARGS.no_cache else (ARGS.cache_dir or default_cache_dir()),
+    use_cache=not ARGS.no_cache,
+)
 
 chunks: list[str] = []
+
+
+def sweep(name: str):
+    """Run one registered experiment through the engine, logging the
+    cache/worker accounting to the console (not the record)."""
+    results, report = registry.get(name).run(options=OPTIONS)
+    print(f"[{name}] {report.summary()}", flush=True)
+    return results
 
 
 def emit(text: str = "") -> None:
@@ -85,7 +112,7 @@ def main() -> None:
         emit()
         emit(desc + ".")
         emit()
-        res = run_fig7(panel, schemes=PAPER_SCHEMES, time_scale=1.0, seed=SEED)
+        res = sweep(f"fig7{panel}")
         fig7_results[panel] = res
         code(render_series(res, stride=max(1, len(res["1Q"].throughput[0]) // 20)))
         tail = {s: r.mean_throughput() for s, r in res.items()}
@@ -125,7 +152,7 @@ def main() -> None:
     for trees, panel in fig8_meta.items():
         emit(f"## Fig. 8{panel} — Config #3, {trees} congestion tree(s)")
         emit()
-        res = run_fig8(trees, schemes=FIG8_SCHEMES, time_scale=1.0, seed=SEED)
+        res = sweep(f"fig8{panel}")
         code(render_series(res, stride=max(1, len(res["1Q"].throughput[0]) // 15)))
         code(render_fig8_summary(res))
         emit()
@@ -156,7 +183,7 @@ def main() -> None:
     # ------------------------------------------------------------- Fig 9
     emit("## Fig. 9 — per-flow bandwidth, Config #1 / Case #1 (fairness)")
     emit()
-    res9 = run_fig9(schemes=PAPER_SCHEMES, time_scale=1.0, seed=SEED)
+    res9 = sweep("fig9")
     flows9 = ("F0", "F1", "F2", "F5", "F6")
     contributors = ("F1", "F2", "F5", "F6")
     code(render_flow_table(res9, flows9))
@@ -185,7 +212,7 @@ def main() -> None:
     # ------------------------------------------------------------ Fig 10
     emit("## Fig. 10 — per-flow bandwidth, Config #2 / Case #2")
     emit()
-    res10 = run_fig10(schemes=PAPER_SCHEMES, time_scale=1.0, seed=SEED)
+    res10 = sweep("fig10")
     flows10 = ("F0", "F1", "F2", "F3", "F4")
     code(render_flow_table(res10, flows10))
     rows = [

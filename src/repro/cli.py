@@ -11,40 +11,68 @@ Commands
     bandwidths plus the CC counters.
 ``trees N --scheme CCFIT``
     Run the Case #4 scalability probe with N congestion trees.
+``sweep NAME``
+    Run any registered experiment (``fig7a`` ... ``fig10``,
+    ``case1`` ... ``case4``) through the sweep engine and report the
+    cache hit count.  ``repro sweep --list`` enumerates the names.
 
 Common options: ``--scale`` (time compression, default 0.3),
-``--seed``, ``--csv PATH`` (dump the throughput series).
+``--seed``, ``--csv PATH`` (dump the throughput series),
+``--jobs N`` (worker processes for the simulation grid),
+``--cache-dir PATH`` / ``--no-cache`` (on-disk result cache;
+``sweep`` caches by default, the other commands opt in via
+``--cache-dir``).  See docs/sweep.md for the job/cache model.
+
+Every simulation command dispatches through
+:mod:`repro.experiments.registry`, so registering a new experiment
+makes it runnable here with no CLI changes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.core.ccfit import SCHEMES
+from repro.experiments import registry
 from repro.experiments.configs import CONFIG3, table1
 from repro.experiments.costs import cost_table
+from repro.experiments.registry import Experiment
 from repro.experiments.report import (
     render_fig8_summary,
     render_flow_table,
     render_series,
     render_table,
 )
-from repro.experiments.runner import (
-    FIG8_SCHEMES,
-    PAPER_SCHEMES,
-    CaseResult,
-    run_case1,
-    run_case2,
-    run_case3,
-    run_case4,
-    run_fig7,
-    run_fig8,
-    run_fig9,
-    run_fig10,
-)
+from repro.experiments.runner import FIG8_SCHEMES, CaseResult
+from repro.experiments.sweep import SweepOptions, SweepReport, default_cache_dir
 
 __all__ = ["main", "build_parser"]
+
+_SIM_COMMANDS = ("fig", "case", "trees", "sweep")
+
+
+def _add_engine_options(p: argparse.ArgumentParser, suppress: bool = False) -> None:
+    """The sweep-engine knobs, shared by every simulation command.
+
+    They live on the main parser (before the subcommand) *and*, with
+    ``default=SUPPRESS``, on each subparser — so both
+    ``repro --jobs 4 sweep fig9`` and ``repro sweep fig9 --jobs 4``
+    work, and a subparser never clobbers a value given up front.
+    """
+    sup = argparse.SUPPRESS
+
+    def d(value):
+        return sup if suppress else value
+
+    p.add_argument("--jobs", type=int, default=d(1), metavar="N",
+                   help="worker processes for the simulation grid (1 = serial)")
+    p.add_argument("--cache-dir", type=str, default=d(None), metavar="PATH",
+                   help="on-disk result cache directory "
+                        "(default: ~/.cache/repro-sweep for `sweep`, off otherwise)")
+    p.add_argument("--no-cache", action="store_true", default=d(False),
+                   help="disable the on-disk result cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--csv", type=str, default=None, help="write the throughput series as CSV")
     p.add_argument("--svg", type=str, default=None, help="render the figure as an SVG chart")
+    _add_engine_options(p)
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print Table I + scheme hardware costs")
@@ -70,7 +99,41 @@ def build_parser() -> argparse.ArgumentParser:
     trees = sub.add_parser("trees", help="Case #4 scalability probe")
     trees.add_argument("count", type=int)
     trees.add_argument("--scheme", default="CCFIT", choices=list(FIG8_SCHEMES) + ["VOQsw"])
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a registered experiment through the parallel sweep engine",
+        description="Decompose an experiment into independent (scheme) cells, "
+                    "run them across --jobs worker processes, and memoize the "
+                    "cells in the on-disk cache so repeated invocations are "
+                    "served without re-simulating.",
+    )
+    sweep.add_argument("name", nargs="?", choices=list(registry.names()),
+                       help="experiment to run (see --list)")
+    sweep.add_argument("--list", action="store_true", dest="list_experiments",
+                       help="list registered experiments and exit")
+    sweep.add_argument("--schemes", type=str, default=None, metavar="A,B,..",
+                       help="comma-separated scheme subset (default: the experiment's list)")
+
+    for sp in (fig, case, trees, sweep):
+        _add_engine_options(sp, suppress=True)
     return p
+
+
+def _options(args: argparse.Namespace, *, cache_by_default: bool) -> SweepOptions:
+    """Build SweepOptions from parsed args.  The cache engages when a
+    directory was given explicitly, or by default for ``sweep``;
+    ``--no-cache`` always wins."""
+    cache_dir = args.cache_dir
+    if cache_dir is None and cache_by_default and not args.no_cache:
+        cache_dir = default_cache_dir()
+    return SweepOptions(
+        time_scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+    )
 
 
 def _write_csv(path: str, results: Dict[str, CaseResult]) -> None:
@@ -101,67 +164,124 @@ def _print_case(res: CaseResult) -> None:
     print(render_table([{k: int(res.stats[k]) for k in interesting}]))
 
 
+def _render_results(exp: Experiment, results: Dict[str, CaseResult], args) -> None:
+    """The figure-style rendering, shared by ``fig`` and ``sweep``."""
+    if exp.kind == "series":
+        stride_div = 15 if exp.case == "case4" else 18
+        n = len(next(iter(results.values())).throughput[0])
+        print(render_series(results, stride=max(1, n // stride_div)))
+        if exp.case == "case4":
+            print(render_fig8_summary(results))
+    else:
+        print(render_flow_table(results, exp.flows))
+    if args.csv:
+        _write_csv(args.csv, results)
+    if args.svg:
+        from repro.metrics.svgplot import chart_results
+
+        if exp.kind == "flows" and exp.name in ("fig9", "fig10"):
+            # one panel per scheme, suffixed like the paper's (a)-(d)
+            base = args.svg[:-4] if args.svg.endswith(".svg") else args.svg
+            panel = exp.name[3:]
+            for tag, (scheme, res) in zip("abcd", results.items()):
+                path = f"{base}{tag}.svg"
+                chart_results({scheme: res}, f"Fig. {panel}{tag}", per_flow=True).write(path)
+                print(f"wrote {path}")
+        else:
+            chart_results(results, exp.title.split(" — ")[0]).write(args.svg)
+            print(f"wrote {args.svg}")
+
+
+def _report_engine(report: SweepReport, opts: SweepOptions, always: bool = False) -> None:
+    if always or opts.jobs > 1 or opts.cache_enabled:
+        print(f"sweep: {report.summary()}")
+
+
+def _cmd_table1(args) -> int:
+    print("TABLE I — evaluated network configurations")
+    print(render_table(table1()))
+    print()
+    print("Scheme hardware costs on Config #3 (64 nodes):")
+    print(render_table(cost_table(CONFIG3.topo())))
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    exp = registry.get(f"fig{args.panel}")
+    opts = _options(args, cache_by_default=False)
+    results, report = exp.run(options=opts)
+    _render_results(exp, results, args)
+    _report_engine(report, opts)
+    return 0
+
+
+def _cmd_case(args) -> int:
+    exp = registry.get(f"case{args.number}")
+    opts = _options(args, cache_by_default=False)
+    results, report = exp.run(schemes=(args.scheme,), options=opts)
+    _print_case(results[args.scheme])
+    if args.csv:
+        _write_csv(args.csv, results)
+    _report_engine(report, opts)
+    return 0
+
+
+def _cmd_trees(args) -> int:
+    exp = registry.get("case4")
+    opts = _options(args, cache_by_default=False)
+    results, report = exp.run(schemes=(args.scheme,), options=opts, num_trees=args.count)
+    res = results[args.scheme]
+    _print_case(res)
+    print(f"burst-window throughput: {res.mean_throughput():.1f} GB/s")
+    if args.csv:
+        _write_csv(args.csv, results)
+    _report_engine(report, opts)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.list_experiments:
+        rows = [
+            {"name": e.name, "case": e.case, "schemes": ",".join(e.schemes), "title": e.title}
+            for e in registry.experiments()
+        ]
+        print(render_table(rows))
+        return 0
+    if args.name is None:
+        print("sweep: experiment name required (try `repro sweep --list`)", file=sys.stderr)
+        return 2
+    exp = registry.get(args.name)
+    schemes: Optional[tuple] = None
+    if args.schemes:
+        schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+        unknown = [s for s in schemes if s not in SCHEMES]
+        if unknown:
+            print(
+                f"sweep: unknown scheme(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(SCHEMES)}",
+                file=sys.stderr,
+            )
+            return 2
+    opts = _options(args, cache_by_default=True)
+    results, report = exp.run(schemes=schemes, options=opts)
+    print(exp.title)
+    _render_results(exp, results, args)
+    _report_engine(report, opts, always=True)
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "fig": _cmd_fig,
+    "case": _cmd_case,
+    "trees": _cmd_trees,
+    "sweep": _cmd_sweep,
+}
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-
-    if args.command == "table1":
-        print("TABLE I — evaluated network configurations")
-        print(render_table(table1()))
-        print()
-        print("Scheme hardware costs on Config #3 (64 nodes):")
-        print(render_table(cost_table(CONFIG3.topo())))
-        return 0
-
-    if args.command == "fig":
-        panel = args.panel
-        if panel.startswith("7"):
-            results = run_fig7(panel[1], PAPER_SCHEMES, time_scale=args.scale, seed=args.seed)
-            print(render_series(results, stride=max(1, len(next(iter(results.values())).throughput[0]) // 18)))
-        elif panel.startswith("8"):
-            trees = {"a": 1, "b": 4, "c": 6}[panel[1]]
-            results = run_fig8(trees, FIG8_SCHEMES, time_scale=args.scale, seed=args.seed)
-            print(render_series(results, stride=max(1, len(next(iter(results.values())).throughput[0]) // 15)))
-            print(render_fig8_summary(results))
-        elif panel == "9":
-            results = run_fig9(PAPER_SCHEMES, time_scale=args.scale, seed=args.seed)
-            print(render_flow_table(results, ("F0", "F1", "F2", "F5", "F6")))
-        else:
-            results = run_fig10(PAPER_SCHEMES, time_scale=args.scale, seed=args.seed)
-            print(render_flow_table(results, ("F0", "F1", "F2", "F3", "F4")))
-        if args.csv:
-            _write_csv(args.csv, results)
-        if args.svg:
-            from repro.metrics.svgplot import chart_results
-
-            if panel in ("9", "10"):
-                # one panel per scheme, suffixed like the paper's (a)-(d)
-                base = args.svg[:-4] if args.svg.endswith(".svg") else args.svg
-                for tag, (scheme, res) in zip("abcd", results.items()):
-                    path = f"{base}{tag}.svg"
-                    chart_results({scheme: res}, f"Fig. {panel}{tag}", per_flow=True).write(path)
-                    print(f"wrote {path}")
-            else:
-                chart_results(results, f"Fig. {panel}").write(args.svg)
-                print(f"wrote {args.svg}")
-        return 0
-
-    if args.command == "case":
-        runner = {1: run_case1, 2: run_case2, 3: run_case3}[args.number]
-        res = runner(args.scheme, time_scale=args.scale, seed=args.seed)
-        _print_case(res)
-        if args.csv:
-            _write_csv(args.csv, {args.scheme: res})
-        return 0
-
-    if args.command == "trees":
-        res = run_case4(args.scheme, num_trees=args.count, time_scale=args.scale, seed=args.seed)
-        _print_case(res)
-        print(f"burst-window throughput: {res.mean_throughput():.1f} GB/s")
-        if args.csv:
-            _write_csv(args.csv, {args.scheme: res})
-        return 0
-
-    return 1  # pragma: no cover
+    return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

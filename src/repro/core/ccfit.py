@@ -43,7 +43,14 @@ from repro.network.queueing import (
     VOQswScheme,
 )
 
-__all__ = ["Scheme", "SchemeSpec", "scheme_params", "SCHEMES"]
+__all__ = [
+    "Scheme",
+    "SchemeSpec",
+    "scheme_params",
+    "SCHEMES",
+    "PAPER_SCHEMES",
+    "FIG8_SCHEMES",
+]
 
 
 @dataclass(frozen=True)
@@ -114,6 +121,11 @@ SCHEMES = {
 
 #: the names, in the paper's plotting order.
 Scheme = tuple(SCHEMES)
+
+#: the schemes of Figs. 7, 9 and 10, in the paper's plotting order.
+PAPER_SCHEMES = ("1Q", "ITh", "FBICM", "CCFIT")
+#: Fig. 8 adds the VOQnet upper bound.
+FIG8_SCHEMES = PAPER_SCHEMES + ("VOQnet",)
 
 
 def scheme_params(name: str, base: CCParams = None) -> Tuple[SchemeSpec, CCParams]:  # type: ignore[assignment]

@@ -2,15 +2,26 @@
 
 * :mod:`repro.experiments.configs` — Table I as code: the three network
   configurations with their topologies, bandwidths and memories.
-* :mod:`repro.experiments.runner` — one entry point per figure
-  (Fig. 7a/7b/7c, Fig. 8a/8b/8c, Fig. 9, Fig. 10), each returning the
-  series/values the paper plots.
+* :mod:`repro.experiments.runner` — the simulation cells (one
+  (case, scheme, seed, time_scale) run each) and the per-figure
+  aggregation wrappers (Fig. 7a/7b/7c, Fig. 8a/8b/8c, Fig. 9, Fig. 10).
+* :mod:`repro.experiments.sweep` — the parallel sweep engine: decomposes
+  a figure into independent :class:`~repro.experiments.sweep.SimJob`
+  cells, fans them out across worker processes and memoizes finished
+  cells in a content-addressed on-disk cache (docs/sweep.md).
+* :mod:`repro.experiments.registry` — experiment names (``"fig9"``,
+  ``"case3"``, ...) -> runnable sweep definitions; the CLI and scripts
+  dispatch through it.
 * :mod:`repro.experiments.report` — ASCII rendering used by the
   benchmark harness and EXPERIMENTS.md regeneration.
 """
 
+from repro.experiments import registry
 from repro.experiments.configs import CONFIG1, CONFIG2, CONFIG3, NetworkConfig, table1
+from repro.experiments.registry import Experiment
 from repro.experiments.runner import (
+    CaseResult,
+    run_case,
     run_case1,
     run_case2,
     run_case3,
@@ -19,6 +30,14 @@ from repro.experiments.runner import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_figure,
+)
+from repro.experiments.sweep import (
+    ResultCache,
+    SimJob,
+    SweepOptions,
+    SweepReport,
+    run_sweep,
 )
 
 __all__ = [
@@ -27,6 +46,8 @@ __all__ = [
     "CONFIG3",
     "NetworkConfig",
     "table1",
+    "CaseResult",
+    "run_case",
     "run_case1",
     "run_case2",
     "run_case3",
@@ -35,4 +56,12 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_fig10",
+    "run_figure",
+    "registry",
+    "Experiment",
+    "ResultCache",
+    "SimJob",
+    "SweepOptions",
+    "SweepReport",
+    "run_sweep",
 ]

@@ -1,0 +1,154 @@
+"""Experiment registry: names -> runnable sweep definitions.
+
+Maps every figure panel and traffic case of §IV (``"fig7a"`` ...
+``"fig10"``, ``"case1"`` ... ``"case4"``) to an :class:`Experiment`
+bundling the cell runner it decomposes into, its scheme list and how
+its results are rendered.  The CLI, the ``run_fig*`` wrappers and
+``scripts/make_experiments.py`` all dispatch through this table
+instead of hand-written per-subcommand branching, so a new experiment
+becomes available everywhere by a single :func:`register` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.ccfit import FIG8_SCHEMES, PAPER_SCHEMES, SCHEMES
+from repro.experiments.runner import CaseResult
+from repro.experiments.sweep import SimJob, SweepOptions, SweepReport, run_sweep
+
+__all__ = ["Experiment", "register", "get", "names", "experiments", "REGISTRY"]
+
+#: Fig. 9 plots Case #1's victim + contributors; Fig. 10 Case #2's five flows.
+CASE1_FLOWS = ("F0", "F1", "F2", "F5", "F6")
+CASE2_FLOWS = ("F0", "F1", "F2", "F3", "F4")
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One named sweep: a grid of (scheme x cell) simulations."""
+
+    name: str
+    title: str
+    #: the cell runner (``repro.experiments.runner.CASE_NAMES`` entry).
+    case: str
+    #: default scheme list (the paper's, for figures).
+    schemes: Tuple[str, ...]
+    #: rendering hint: "series" (throughput vs time) | "flows"
+    #: (per-flow bandwidth table).
+    kind: str = "series"
+    #: flow names the "flows" rendering tabulates.
+    flows: Tuple[str, ...] = ()
+    #: static per-case knobs (e.g. Fig. 8's ``num_trees``).
+    extra: Tuple[Tuple[str, Any], ...] = ()
+
+    def jobs(
+        self,
+        *,
+        schemes: Optional[Tuple[str, ...]] = None,
+        time_scale: float = 1.0,
+        seed: int = 1,
+        params=None,
+        **overrides,
+    ) -> List[SimJob]:
+        """Decompose into one :class:`SimJob` per scheme.  ``overrides``
+        update the static ``extra`` knobs (the ``trees`` CLI command
+        overrides ``num_trees`` this way)."""
+        extra = dict(self.extra)
+        extra.update(overrides)
+        return [
+            SimJob(
+                case=self.case,
+                scheme=s,
+                time_scale=time_scale,
+                seed=seed,
+                params=params,
+                extra=tuple(sorted(extra.items())),
+            )
+            for s in (schemes if schemes is not None else self.schemes)
+        ]
+
+    def run(
+        self,
+        *,
+        schemes: Optional[Tuple[str, ...]] = None,
+        options: Optional[SweepOptions] = None,
+        time_scale: Optional[float] = None,
+        seed: Optional[int] = None,
+        params=None,
+        **overrides,
+    ) -> Tuple[Dict[str, CaseResult], SweepReport]:
+        """Run the grid through the sweep engine; explicit keywords win
+        over the corresponding ``options`` fields."""
+        opts = options if options is not None else SweepOptions()
+        jobs = self.jobs(
+            schemes=schemes,
+            time_scale=opts.time_scale if time_scale is None else time_scale,
+            seed=opts.seed if seed is None else seed,
+            params=params if params is not None else opts.params,
+            **overrides,
+        )
+        report = run_sweep(jobs, options=opts)
+        return report.by_scheme(), report
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(exp: Experiment) -> Experiment:
+    if exp.name in REGISTRY:
+        raise KeyError(f"experiment {exp.name!r} already registered")
+    REGISTRY[exp.name] = exp
+    return exp
+
+
+def get(name: str) -> Experiment:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {', '.join(names())}"
+        ) from None
+
+
+def names() -> Tuple[str, ...]:
+    return tuple(REGISTRY)
+
+
+def experiments() -> Tuple[Experiment, ...]:
+    return tuple(REGISTRY.values())
+
+
+# ---------------------------------------------------------------- figures
+register(Experiment("fig7a", "Fig. 7a — network throughput vs time (Config #1 / Case #1)",
+                    case="case1", schemes=PAPER_SCHEMES, kind="series"))
+register(Experiment("fig7b", "Fig. 7b — network throughput vs time (Config #2 / Case #2)",
+                    case="case2", schemes=PAPER_SCHEMES, kind="series"))
+register(Experiment("fig7c", "Fig. 7c — network throughput vs time (Config #2 / Case #3)",
+                    case="case3", schemes=PAPER_SCHEMES, kind="series"))
+register(Experiment("fig8a", "Fig. 8a — Config #3, 1 congestion tree",
+                    case="case4", schemes=FIG8_SCHEMES, kind="series",
+                    extra=(("num_trees", 1),)))
+register(Experiment("fig8b", "Fig. 8b — Config #3, 4 congestion trees",
+                    case="case4", schemes=FIG8_SCHEMES, kind="series",
+                    extra=(("num_trees", 4),)))
+register(Experiment("fig8c", "Fig. 8c — Config #3, 6 congestion trees",
+                    case="case4", schemes=FIG8_SCHEMES, kind="series",
+                    extra=(("num_trees", 6),)))
+register(Experiment("fig9", "Fig. 9 — per-flow bandwidth (Config #1 / Case #1, fairness)",
+                    case="case1", schemes=PAPER_SCHEMES, kind="flows", flows=CASE1_FLOWS))
+register(Experiment("fig10", "Fig. 10 — per-flow bandwidth (Config #2 / Case #2)",
+                    case="case2", schemes=PAPER_SCHEMES, kind="flows", flows=CASE2_FLOWS))
+
+# ---------------------------------------------------------------- cases
+_ALL_SCHEMES = tuple(SCHEMES)
+register(Experiment("case1", "Traffic Case #1 on Config #1 (hotspot staircase + victim)",
+                    case="case1", schemes=_ALL_SCHEMES, kind="flows", flows=CASE1_FLOWS))
+register(Experiment("case2", "Traffic Case #2 on Config #2 (two hot nodes)",
+                    case="case2", schemes=_ALL_SCHEMES, kind="flows", flows=CASE2_FLOWS))
+register(Experiment("case3", "Traffic Case #3 on Config #2 (Case #2 + uniform noise)",
+                    case="case3", schemes=_ALL_SCHEMES, kind="flows", flows=CASE2_FLOWS))
+register(Experiment("case4", "Traffic Case #4 on Config #3 (hotspot burst, scalability)",
+                    case="case4", schemes=_ALL_SCHEMES, kind="series",
+                    extra=(("num_trees", 1),)))

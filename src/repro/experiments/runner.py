@@ -6,6 +6,22 @@ corresponding figure plots (network-throughput series for Fig. 7/8,
 per-flow bandwidth series for Fig. 9/10) plus the aggregates the
 shape tests and EXPERIMENTS.md assert on.
 
+The layer is split in two since the sweep engine landed
+(:mod:`repro.experiments.sweep`):
+
+* :func:`run_case` is the **cell** entry point — one (case, scheme,
+  seed, time_scale) simulation, keyword-only, exactly what one
+  :class:`~repro.experiments.sweep.SimJob` executes;
+* :func:`run_figure` (and the ``run_fig*`` wrappers) are thin
+  **aggregation** drivers: they build one job per scheme and hand the
+  grid to the engine, which may fan out across worker processes and/or
+  serve cells from the on-disk cache.  With no options they degrade to
+  the original serial in-process loop, bit-for-bit.
+
+The legacy positional call forms (``run_case1("1Q", 0.3, 7)``,
+``run_fig8(4, FIG8_SCHEMES, ...)``) keep working through thin
+backwards-compatible shims.
+
 ``time_scale`` shrinks the paper's 10 ms windows proportionally — the
 benches run at 0.15–0.3x to stay fast; EXPERIMENTS.md records 1.0x
 runs.  All runs are deterministic for a fixed seed.
@@ -14,10 +30,11 @@ runs.  All runs are deterministic for a fixed seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.ccfit import FIG8_SCHEMES, PAPER_SCHEMES
 from repro.core.params import CCParams
 from repro.experiments.configs import CONFIG1, CONFIG2, CONFIG3
 from repro.metrics.analysis import jain_index
@@ -33,6 +50,8 @@ from repro.traffic.patterns import (
 
 __all__ = [
     "CaseResult",
+    "run_case",
+    "run_figure",
     "run_case1",
     "run_case2",
     "run_case3",
@@ -41,14 +60,10 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_fig10",
+    "CASE_NAMES",
     "PAPER_SCHEMES",
     "FIG8_SCHEMES",
 ]
-
-#: the schemes of Figs. 7, 9 and 10.
-PAPER_SCHEMES = ("1Q", "ITh", "FBICM", "CCFIT")
-#: Fig. 8 adds the VOQnet upper bound.
-FIG8_SCHEMES = ("1Q", "ITh", "FBICM", "CCFIT", "VOQnet")
 
 
 @dataclass
@@ -77,6 +92,38 @@ class CaseResult:
 
     def fairness(self, flows: Iterable[str]) -> float:
         return jain_index([self.flow_bandwidth.get(f, 0.0) for f in flows])
+
+    # -- serialization (cache + worker transport) -----------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; :meth:`from_dict` inverts it losslessly
+        (json round-trips finite floats exactly)."""
+        return {
+            "scheme": self.scheme,
+            "duration": self.duration,
+            "throughput": [self.throughput[0].tolist(), self.throughput[1].tolist()],
+            "flow_series": {
+                name: [t.tolist(), r.tolist()] for name, (t, r) in self.flow_series.items()
+            },
+            "flow_bandwidth": dict(self.flow_bandwidth),
+            "stats": dict(self.stats),
+            "window": [self.window[0], self.window[1]],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CaseResult":
+        times, rates = data["throughput"]
+        return cls(
+            scheme=data["scheme"],
+            duration=float(data["duration"]),
+            throughput=(np.asarray(times, dtype=float), np.asarray(rates, dtype=float)),
+            flow_series={
+                name: (np.asarray(t, dtype=float), np.asarray(r, dtype=float))
+                for name, (t, r) in data["flow_series"].items()
+            },
+            flow_bandwidth=dict(data["flow_bandwidth"]),
+            stats=dict(data["stats"]),
+            window=(float(data["window"][0]), float(data["window"][1])),
+        )
 
 
 def _run(
@@ -115,13 +162,10 @@ def _run(
     return result
 
 
-def run_case1(
-    scheme: str,
-    time_scale: float = 1.0,
-    seed: int = 1,
-    params: Optional[CCParams] = None,
-) -> CaseResult:
-    """Config #1, Traffic Case #1 (Figs. 7a and 9)."""
+# ----------------------------------------------------------------------
+# cell runners — one independent simulation each (keyword-only)
+# ----------------------------------------------------------------------
+def _cell_case1(*, scheme: str, time_scale: float, seed: int, params: Optional[CCParams]) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
         CONFIG1,
@@ -136,13 +180,7 @@ def run_case1(
     )
 
 
-def run_case2(
-    scheme: str,
-    time_scale: float = 1.0,
-    seed: int = 1,
-    params: Optional[CCParams] = None,
-) -> CaseResult:
-    """Config #2, Traffic Case #2 (Figs. 7b and 10)."""
+def _cell_case2(*, scheme: str, time_scale: float, seed: int, params: Optional[CCParams]) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
         CONFIG2,
@@ -157,13 +195,7 @@ def run_case2(
     )
 
 
-def run_case3(
-    scheme: str,
-    time_scale: float = 1.0,
-    seed: int = 1,
-    params: Optional[CCParams] = None,
-) -> CaseResult:
-    """Config #2, Traffic Case #3 = Case #2 plus uniform noise (Fig. 7c)."""
+def _cell_case3(*, scheme: str, time_scale: float, seed: int, params: Optional[CCParams]) -> CaseResult:
     duration = 10 * MS * time_scale
     flows, uniform = case3_traffic(time_scale=time_scale)
     return _run(
@@ -179,20 +211,15 @@ def run_case3(
     )
 
 
-def run_case4(
+def _cell_case4(
+    *,
     scheme: str,
-    num_trees: int,
-    time_scale: float = 1.0,
-    seed: int = 1,
-    params: Optional[CCParams] = None,
+    time_scale: float,
+    seed: int,
+    params: Optional[CCParams],
+    num_trees: int = 1,
     duration_ms: float = 3.0,
 ) -> CaseResult:
-    """Config #3, Traffic Case #4: the Fig. 8 scalability probe.
-
-    The hotspot burst occupies [1 ms, 2 ms] (scaled); the run extends
-    to ``duration_ms`` to observe the recovery.  The tail window for
-    aggregates is the burst window itself (where the schemes differ).
-    """
     duration = duration_ms * MS * time_scale
     flows, uniform = case4_traffic(num_trees=num_trees, time_scale=time_scale)
     return _run(
@@ -208,47 +235,177 @@ def run_case4(
     )
 
 
+_CELLS = {
+    "case1": _cell_case1,
+    "case2": _cell_case2,
+    "case3": _cell_case3,
+    "case4": _cell_case4,
+}
+
+#: the valid ``case`` identifiers for :func:`run_case` / ``SimJob.case``.
+CASE_NAMES = tuple(_CELLS)
+
+
+def run_case(
+    case: str,
+    *,
+    scheme: str,
+    time_scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    params: Optional[CCParams] = None,
+    options=None,
+    **extra,
+) -> CaseResult:
+    """Run one simulation cell: ``case`` under ``scheme``.
+
+    This is the unified, keyword-only entry point behind every
+    ``run_case*`` wrapper and every sweep-engine job.  ``options`` may
+    be a :class:`~repro.experiments.sweep.SweepOptions` supplying the
+    defaults for ``time_scale``/``seed``/``params``; explicit keywords
+    win over it.  ``extra`` carries per-case knobs (Case #4 accepts
+    ``num_trees`` and ``duration_ms``).
+    """
+    if case not in _CELLS:
+        raise KeyError(f"unknown case {case!r}; choose from {sorted(_CELLS)}")
+    if time_scale is None:
+        time_scale = getattr(options, "time_scale", None) if options is not None else None
+        time_scale = 1.0 if time_scale is None else time_scale
+    if seed is None:
+        seed = getattr(options, "seed", None) if options is not None else None
+        seed = 1 if seed is None else seed
+    if params is None and options is not None:
+        params = getattr(options, "params", None)
+    return _CELLS[case](scheme=scheme, time_scale=time_scale, seed=seed, params=params, **extra)
+
+
 # ----------------------------------------------------------------------
-# figure-level drivers
+# legacy per-case wrappers (old positional call forms keep working)
 # ----------------------------------------------------------------------
-def run_fig7(
-    panel: str,
-    schemes: Iterable[str] = PAPER_SCHEMES,
-    time_scale: float = 1.0,
-    seed: int = 1,
+def _legacy(case: str, arg_order: Tuple[str, ...], args: tuple, kw: dict) -> CaseResult:
+    if len(args) > len(arg_order):
+        raise TypeError(f"run_{case}() takes at most {len(arg_order)} positional arguments")
+    for name, value in zip(arg_order, args):
+        if name in kw:
+            raise TypeError(f"run_{case}() got multiple values for argument {name!r}")
+        kw[name] = value
+    return run_case(case, **kw)
+
+
+def run_case1(*args, **kwargs) -> CaseResult:
+    """Config #1, Traffic Case #1 (Figs. 7a and 9).
+
+    Canonically keyword-only (``scheme=``, ``time_scale=``, ``seed=``,
+    ``params=``, ``options=``); the legacy positional order
+    ``(scheme, time_scale, seed, params)`` is still accepted.
+    """
+    return _legacy("case1", ("scheme", "time_scale", "seed", "params"), args, kwargs)
+
+
+def run_case2(*args, **kwargs) -> CaseResult:
+    """Config #2, Traffic Case #2 (Figs. 7b and 10)."""
+    return _legacy("case2", ("scheme", "time_scale", "seed", "params"), args, kwargs)
+
+
+def run_case3(*args, **kwargs) -> CaseResult:
+    """Config #2, Traffic Case #3 = Case #2 plus uniform noise (Fig. 7c)."""
+    return _legacy("case3", ("scheme", "time_scale", "seed", "params"), args, kwargs)
+
+
+def run_case4(*args, **kwargs) -> CaseResult:
+    """Config #3, Traffic Case #4: the Fig. 8 scalability probe.
+
+    The hotspot burst occupies [1 ms, 2 ms] (scaled); the run extends
+    to ``duration_ms`` (default 3.0) to observe the recovery.  The tail
+    window for aggregates is the burst window itself (where the schemes
+    differ).  Accepts ``num_trees`` (legacy second positional).
+    """
+    return _legacy(
+        "case4",
+        ("scheme", "num_trees", "time_scale", "seed", "params", "duration_ms"),
+        args,
+        kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# figure-level drivers — thin aggregation over the sweep engine
+# ----------------------------------------------------------------------
+def run_figure(
+    name: str,
+    *,
+    schemes: Optional[Iterable[str]] = None,
+    time_scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    params: Optional[CCParams] = None,
+    options=None,
 ) -> Dict[str, CaseResult]:
+    """Run every (scheme) cell of one registered figure/case experiment.
+
+    ``name`` is a :mod:`repro.experiments.registry` key (``"fig7a"``,
+    ``"fig9"``, ``"case3"``, ...).  The grid goes through
+    :func:`repro.experiments.sweep.run_sweep`, so an ``options`` object
+    with ``jobs > 1`` fans the schemes out across worker processes and
+    ``cache_dir`` memoizes the cells on disk; without options the run
+    is serial and uncached, identical to the historical in-process
+    loop.
+    """
+    from repro.experiments import registry  # deferred: registry imports sweep imports us
+
+    exp = registry.get(name)
+    results, _report = exp.run(
+        schemes=tuple(schemes) if schemes is not None else None,
+        options=options,
+        time_scale=time_scale,
+        seed=seed,
+        params=params,
+    )
+    return results
+
+
+def _legacy_figure(name: str, arg_order: Tuple[str, ...], args: tuple, kw: dict):
+    if len(args) > len(arg_order):
+        raise TypeError(f"figure driver takes at most {len(arg_order)} positional arguments")
+    for pname, value in zip(arg_order, args):
+        if pname in kw:
+            raise TypeError(f"got multiple values for argument {pname!r}")
+        kw[pname] = value
+    return run_figure(name, **kw)
+
+
+def run_fig7(panel: str, *args, **kwargs) -> Dict[str, CaseResult]:
     """Throughput-vs-time curves of Fig. 7 (panel 'a', 'b' or 'c')."""
-    runner = {"a": run_case1, "b": run_case2, "c": run_case3}[panel]
-    return {s: runner(s, time_scale=time_scale, seed=seed) for s in schemes}
+    if panel not in ("a", "b", "c"):
+        raise KeyError(f"Fig. 7 has panels a/b/c, not {panel!r}")
+    return _legacy_figure(f"fig7{panel}", ("schemes", "time_scale", "seed"), args, kwargs)
 
 
-def run_fig8(
-    num_trees: int,
-    schemes: Iterable[str] = FIG8_SCHEMES,
-    time_scale: float = 1.0,
-    seed: int = 1,
-) -> Dict[str, CaseResult]:
+def run_fig8(num_trees: int, *args, **kwargs) -> Dict[str, CaseResult]:
     """Fig. 8: Config #3 under 1 (a), 4 (b) or 6 (c) congestion trees."""
-    return {
-        s: run_case4(s, num_trees=num_trees, time_scale=time_scale, seed=seed)
-        for s in schemes
-    }
+    panel = {1: "a", 4: "b", 6: "c"}.get(num_trees)
+    if panel is not None:
+        return _legacy_figure(f"fig8{panel}", ("schemes", "time_scale", "seed"), args, kwargs)
+    # off-grid tree counts still run, straight through the engine
+    from repro.experiments import registry
+
+    for name, value in zip(("schemes", "time_scale", "seed"), args):
+        kwargs[name] = value
+    schemes = kwargs.pop("schemes", None)
+    options = kwargs.pop("options", None)
+    results, _report = registry.get("fig8a").run(
+        schemes=tuple(schemes) if schemes is not None else None,
+        options=options,
+        num_trees=num_trees,
+        **kwargs,
+    )
+    return results
 
 
-def run_fig9(
-    schemes: Iterable[str] = PAPER_SCHEMES,
-    time_scale: float = 1.0,
-    seed: int = 1,
-) -> Dict[str, CaseResult]:
+def run_fig9(*args, **kwargs) -> Dict[str, CaseResult]:
     """Fig. 9: per-flow bandwidth on Config #1 / Case #1 (one panel per
     scheme; the paper shows 1Q/ITh/FBICM and discusses CCFIT)."""
-    return {s: run_case1(s, time_scale=time_scale, seed=seed) for s in schemes}
+    return _legacy_figure("fig9", ("schemes", "time_scale", "seed"), args, kwargs)
 
 
-def run_fig10(
-    schemes: Iterable[str] = PAPER_SCHEMES,
-    time_scale: float = 1.0,
-    seed: int = 1,
-) -> Dict[str, CaseResult]:
+def run_fig10(*args, **kwargs) -> Dict[str, CaseResult]:
     """Fig. 10: per-flow bandwidth on Config #2 / Case #2."""
-    return {s: run_case2(s, time_scale=time_scale, seed=seed) for s in schemes}
+    return _legacy_figure("fig10", ("schemes", "time_scale", "seed"), args, kwargs)

@@ -1,0 +1,305 @@
+"""Parallel sweep engine with a content-addressed on-disk result cache.
+
+Every figure of §IV is an embarrassingly parallel grid of independent
+simulations — (case, scheme, seed, time_scale) cells.  This module
+turns such a grid into explicit :class:`SimJob` values and executes
+them through :func:`run_sweep`, which
+
+* fans cells out across worker processes via
+  :class:`concurrent.futures.ProcessPoolExecutor` when
+  ``SweepOptions.jobs > 1`` (falling back to serial in-process
+  execution when the platform lacks usable multiprocessing), and
+* memoizes finished cells in a :class:`ResultCache` keyed by a SHA-256
+  hash of everything that determines the cell's output — topology
+  descriptor, :class:`~repro.core.params.CCParams`, traffic case,
+  scheme, seed, time scale and the ``repro`` version — so repeated CLI
+  runs, benchmarks and EXPERIMENTS.md regeneration reuse results
+  instead of re-simulating.
+
+Determinism contract: a cell is seeded only by its own ``SimJob``
+fields, so a parallel run, a serial run and a cache hit all yield
+bit-for-bit identical aggregates (`CaseResult` serialization is
+lossless; JSON round-trips finite floats exactly).
+
+See ``docs/sweep.md`` for the job/cache model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import __version__
+from repro.core.params import CCParams
+from repro.experiments.configs import CONFIG1, CONFIG2, CONFIG3
+from repro.experiments.runner import CASE_NAMES, CaseResult, run_case
+
+__all__ = [
+    "SweepOptions",
+    "SimJob",
+    "ResultCache",
+    "SweepReport",
+    "run_sweep",
+    "default_cache_dir",
+]
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sweep``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return env if env else os.path.join(os.path.expanduser("~"), ".cache", "repro-sweep")
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """Execution options shared by runners, the CLI and scripts.
+
+    ``time_scale``/``seed``/``params`` are the *defaults* a runner
+    applies when the caller did not pass them explicitly; ``jobs`` and
+    the cache fields control the engine.  ``cache_dir=None`` (the
+    default) disables the cache entirely, keeping programmatic calls
+    pure — the CLI opts in explicitly.
+    """
+
+    time_scale: float = 1.0
+    seed: int = 1
+    params: Optional[CCParams] = None
+    #: worker processes; 1 = serial in-process execution.
+    jobs: int = 1
+    #: cache directory, or None for no on-disk cache.
+    cache_dir: Optional[str] = None
+    #: master switch (lets a CLI ``--no-cache`` keep the dir setting).
+    use_cache: bool = True
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.use_cache and self.cache_dir is not None
+
+
+#: per-case topology descriptors baked into cache keys: a cell's output
+#: depends on the network the case runs on, not only the case name.
+_CASE_CONFIG = {"case1": CONFIG1, "case2": CONFIG2, "case3": CONFIG2, "case4": CONFIG3}
+
+
+def _config_descriptor(case: str) -> Dict[str, Any]:
+    cfg = _CASE_CONFIG[case]
+    return {
+        "config": cfg.name,
+        "topology": cfg.topology,
+        "nodes": cfg.num_nodes,
+        "switches": cfg.num_switches,
+        "crossbar_bw": cfg.crossbar_bw,
+        "link_bandwidths": list(cfg.link_bandwidths),
+        "mtu": cfg.mtu,
+        "memory_size": cfg.memory_size,
+    }
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation cell of a sweep grid."""
+
+    #: traffic case ("case1".."case4") — fixes topology and workload.
+    case: str
+    scheme: str
+    time_scale: float = 1.0
+    seed: int = 1
+    #: None means the case's default parameters (``CCParams()``).
+    params: Optional[CCParams] = None
+    #: per-case knobs, e.g. (("num_trees", 4), ("duration_ms", 3.0)).
+    extra: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.case not in CASE_NAMES:
+            raise KeyError(f"unknown case {self.case!r}; choose from {sorted(CASE_NAMES)}")
+
+    def payload(self) -> Dict[str, Any]:
+        """Everything that determines this cell's output (the cache-key
+        preimage); see docs/sweep.md for the field inventory."""
+        return {
+            "version": __version__,
+            "case": self.case,
+            "topology": _config_descriptor(self.case),
+            "scheme": self.scheme,
+            "time_scale": self.time_scale,
+            "seed": self.seed,
+            "params": dataclasses.asdict(self.params if self.params is not None else CCParams()),
+            "extra": dict(self.extra),
+        }
+
+    def key(self) -> str:
+        blob = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def run(self) -> CaseResult:
+        """Execute the cell in-process (deterministic for fixed fields)."""
+        return run_case(
+            self.case,
+            scheme=self.scheme,
+            time_scale=self.time_scale,
+            seed=self.seed,
+            params=self.params,
+            **dict(self.extra),
+        )
+
+    def label(self) -> str:  # pragma: no cover - cosmetic
+        extra = ",".join(f"{k}={v}" for k, v in self.extra)
+        return f"{self.case}/{self.scheme}" + (f"[{extra}]" if extra else "")
+
+
+class ResultCache:
+    """Content-addressed store of finished cells: one JSON file per
+    cache key under ``root``.  Writes are atomic (tmp + rename) so
+    concurrent sweeps sharing a directory never observe torn files;
+    unreadable or schema-mismatched entries count as misses."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CaseResult]:
+        try:
+            data = json.loads(self.path(key).read_text())
+            return CaseResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: CaseResult, job: Optional[SimJob] = None) -> None:
+        payload: Dict[str, Any] = {"result": result.to_dict()}
+        if job is not None:
+            payload["job"] = job.payload()
+        tmp = self.path(key).with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.path(key))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        n = 0
+        for p in self.root.glob("*.json"):
+            try:
+                p.unlink()
+                n += 1
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+        return n
+
+
+@dataclass
+class SweepReport:
+    """What :func:`run_sweep` did: results aligned with the job list,
+    plus cache and execution accounting."""
+
+    jobs: List[SimJob]
+    results: List[CaseResult]
+    #: cells served from the on-disk cache.
+    hits: int = 0
+    #: cells actually simulated this run.
+    misses: int = 0
+    #: worker processes used (1 = serial, incl. parallel fallback).
+    workers: int = 1
+    elapsed: float = 0.0
+
+    def by_scheme(self) -> Dict[str, CaseResult]:
+        """Scheme -> result, for the common one-cell-per-scheme grids."""
+        return {job.scheme: res for job, res in zip(self.jobs, self.results)}
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.jobs)} cell(s): {self.hits} cache hit(s), "
+            f"{self.misses} simulated on {self.workers} worker(s) "
+            f"in {self.elapsed:.1f} s"
+        )
+
+
+def _execute_job(job: SimJob) -> Dict[str, Any]:
+    """Worker entry point: run one cell, ship it back as a JSON-safe
+    dict (the same serialized form the cache stores, so parallel and
+    cached paths share one decode path)."""
+    return job.run().to_dict()
+
+
+#: pool-infrastructure failures that trigger the serial fallback;
+#: simulation errors inside a worker are *not* swallowed.
+_POOL_ERRORS = (
+    OSError,
+    ImportError,
+    NotImplementedError,
+    PermissionError,
+    BrokenProcessPool,
+    pickle.PicklingError,
+)
+
+
+def _parallel_map(jobs: Sequence[SimJob], workers: int) -> List[Dict[str, Any]]:
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        return list(pool.map(_execute_job, jobs))
+
+
+def run_sweep(jobs: Sequence[SimJob], *, options: Optional[SweepOptions] = None) -> SweepReport:
+    """Execute a grid of cells, reusing cached results where possible.
+
+    Cells already in the cache are returned without simulating; the
+    rest run either serially (``options.jobs <= 1``) or on a process
+    pool.  If the pool cannot be brought up (restricted platforms,
+    unpicklable state), the engine degrades gracefully to serial
+    execution — results are identical either way.
+    """
+    opts = options if options is not None else SweepOptions()
+    cache = ResultCache(opts.cache_dir) if opts.cache_enabled else None
+    t0 = time.perf_counter()
+
+    results: List[Optional[CaseResult]] = [None] * len(jobs)
+    keys: List[Optional[str]] = [None] * len(jobs)
+    pending: List[int] = []
+    hits = 0
+    for i, job in enumerate(jobs):
+        if cache is not None:
+            keys[i] = job.key()
+            found = cache.get(keys[i])
+            if found is not None:
+                results[i] = found
+                hits += 1
+                continue
+        pending.append(i)
+
+    workers = 1
+    if pending:
+        executed: Optional[List[Dict[str, Any]]] = None
+        if opts.jobs > 1 and len(pending) > 1:
+            try:
+                executed = _parallel_map([jobs[i] for i in pending], opts.jobs)
+                workers = min(opts.jobs, len(pending))
+            except _POOL_ERRORS:
+                executed = None  # fall back to serial below
+        if executed is not None:
+            for i, data in zip(pending, executed):
+                results[i] = CaseResult.from_dict(data)
+        else:
+            for i in pending:
+                results[i] = jobs[i].run()
+        if cache is not None:
+            for i in pending:
+                cache.put(keys[i] or jobs[i].key(), results[i], job=jobs[i])
+
+    return SweepReport(
+        jobs=list(jobs),
+        results=results,  # type: ignore[arg-type] - every slot is filled
+        hits=hits,
+        misses=len(pending),
+        workers=workers,
+        elapsed=time.perf_counter() - t0,
+    )

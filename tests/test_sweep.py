@@ -1,0 +1,263 @@
+"""Sweep engine: serialization, cache hit/miss, determinism, compat.
+
+Everything here runs tiny 0.02x cells so the tier-1 suite stays fast;
+the tests that bring up real worker pools are marked ``tier2`` (run
+them with ``pytest -m tier2``).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.params import CCParams
+from repro.experiments.runner import (
+    CaseResult,
+    run_case,
+    run_case1,
+    run_case4,
+    run_fig7,
+    run_fig9,
+)
+from repro.experiments.sweep import (
+    ResultCache,
+    SimJob,
+    SweepOptions,
+    run_sweep,
+)
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def small() -> CaseResult:
+    return run_case1("1Q", time_scale=SCALE)
+
+
+def assert_results_equal(a: CaseResult, b: CaseResult) -> None:
+    assert a.scheme == b.scheme
+    assert a.duration == b.duration
+    assert a.window == b.window
+    assert np.array_equal(a.throughput[0], b.throughput[0])
+    assert np.array_equal(a.throughput[1], b.throughput[1])
+    assert set(a.flow_series) == set(b.flow_series)
+    for name in a.flow_series:
+        assert np.array_equal(a.flow_series[name][0], b.flow_series[name][0])
+        assert np.array_equal(a.flow_series[name][1], b.flow_series[name][1])
+    assert a.flow_bandwidth == b.flow_bandwidth
+    assert a.stats == b.stats
+
+
+class TestCaseResultSerialization:
+    def test_dict_roundtrip_is_lossless(self, small):
+        assert_results_equal(CaseResult.from_dict(small.to_dict()), small)
+
+    def test_json_roundtrip_is_lossless(self, small):
+        """The cache stores JSON text; repr-based float encoding must
+        reproduce every array bit-for-bit."""
+        revived = CaseResult.from_dict(json.loads(json.dumps(small.to_dict())))
+        assert_results_equal(revived, small)
+
+    def test_arrays_revive_as_ndarrays(self, small):
+        revived = CaseResult.from_dict(small.to_dict())
+        assert isinstance(revived.throughput[0], np.ndarray)
+        assert revived.throughput[0].dtype == np.float64
+        name = next(iter(revived.flow_series))
+        assert isinstance(revived.flow_series[name][1], np.ndarray)
+
+    def test_window_revives_as_tuple(self, small):
+        revived = CaseResult.from_dict(small.to_dict())
+        assert revived.window == small.window
+        assert isinstance(revived.window, tuple)
+        # tail-window aggregation works identically on the revived copy
+        assert revived.mean_throughput() == small.mean_throughput()
+
+
+class TestSimJob:
+    def test_key_is_stable(self):
+        a = SimJob(case="case1", scheme="1Q", time_scale=0.1, seed=3)
+        b = SimJob(case="case1", scheme="1Q", time_scale=0.1, seed=3)
+        assert a.key() == b.key()
+        assert len(a.key()) == 64
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"scheme": "CCFIT"},
+            {"seed": 4},
+            {"time_scale": 0.2},
+            {"case": "case2"},
+            {"params": CCParams(num_cfqs=4)},
+            {"extra": (("num_trees", 6),)},
+        ],
+    )
+    def test_key_covers_every_field(self, kw):
+        base = dict(case="case1", scheme="1Q", time_scale=0.1, seed=3)
+        varied = {**base, **kw}
+        assert SimJob(**base).key() != SimJob(**varied).key()
+
+    def test_default_params_key_explicit(self):
+        """params=None hashes like explicit defaults — a cell's output
+        is identical either way, so the cache must unify them."""
+        assert (
+            SimJob(case="case1", scheme="1Q").key()
+            == SimJob(case="case1", scheme="1Q", params=CCParams()).key()
+        )
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            SimJob(case="case9", scheme="1Q")
+
+    def test_run_matches_direct_call(self, small):
+        res = SimJob(case="case1", scheme="1Q", time_scale=SCALE).run()
+        assert_results_equal(res, small)
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+
+    def test_put_get_roundtrip(self, tmp_path, small):
+        cache = ResultCache(tmp_path)
+        job = SimJob(case="case1", scheme="1Q", time_scale=SCALE)
+        cache.put(job.key(), small, job=job)
+        assert len(cache) == 1
+        assert_results_equal(cache.get(job.key()), small)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, small):
+        cache = ResultCache(tmp_path)
+        cache.put("deadbeef", small)
+        cache.path("deadbeef").write_text("{not json")
+        assert cache.get("deadbeef") is None
+
+    def test_clear(self, tmp_path, small):
+        cache = ResultCache(tmp_path)
+        cache.put("aa", small)
+        cache.put("bb", small)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestRunSweep:
+    def jobs(self, schemes=("1Q",)):
+        return [SimJob(case="case1", scheme=s, time_scale=SCALE) for s in schemes]
+
+    def test_serial_no_cache(self, small):
+        report = run_sweep(self.jobs())
+        assert report.hits == 0 and report.misses == 1
+        assert_results_equal(report.results[0], small)
+        assert report.by_scheme()["1Q"].scheme == "1Q"
+
+    def test_cache_miss_then_hit(self, tmp_path, small):
+        opts = SweepOptions(cache_dir=str(tmp_path))
+        first = run_sweep(self.jobs(), options=opts)
+        assert (first.hits, first.misses) == (0, 1)
+        second = run_sweep(self.jobs(), options=opts)
+        assert (second.hits, second.misses) == (1, 0)
+        assert_results_equal(second.results[0], small)
+
+    def test_use_cache_false_bypasses_dir(self, tmp_path):
+        opts = SweepOptions(cache_dir=str(tmp_path), use_cache=False)
+        run_sweep(self.jobs(), options=opts)
+        report = run_sweep(self.jobs(), options=opts)
+        assert report.hits == 0 and len(ResultCache(tmp_path)) == 0
+
+    def test_partial_hits(self, tmp_path):
+        opts = SweepOptions(cache_dir=str(tmp_path))
+        run_sweep(self.jobs(("1Q",)), options=opts)
+        report = run_sweep(self.jobs(("1Q", "FBICM")), options=opts)
+        assert (report.hits, report.misses) == (1, 1)
+        assert {r.scheme for r in report.results} == {"1Q", "FBICM"}
+
+    def test_seed_changes_miss(self, tmp_path):
+        opts = SweepOptions(cache_dir=str(tmp_path))
+        run_sweep(self.jobs(), options=opts)
+        report = run_sweep(
+            [SimJob(case="case1", scheme="1Q", time_scale=SCALE, seed=2)], options=opts
+        )
+        assert report.hits == 0
+
+
+@pytest.mark.tier2
+class TestParallelDeterminism:
+    """`--jobs 2` must be bit-for-bit identical to the serial path."""
+
+    def test_parallel_equals_serial(self):
+        jobs = [SimJob(case="case1", scheme=s, time_scale=SCALE) for s in ("1Q", "FBICM")]
+        serial = run_sweep(jobs, options=SweepOptions(jobs=1))
+        parallel = run_sweep(jobs, options=SweepOptions(jobs=2))
+        assert parallel.misses == 2
+        for a, b in zip(serial.results, parallel.results):
+            assert_results_equal(a, b)
+
+    def test_parallel_fills_cache_identically(self, tmp_path):
+        jobs = [SimJob(case="case1", scheme="1Q", time_scale=SCALE, seed=s) for s in (1, 2)]
+        parallel = run_sweep(jobs, options=SweepOptions(jobs=2, cache_dir=str(tmp_path)))
+        cached = run_sweep(jobs, options=SweepOptions(jobs=1, cache_dir=str(tmp_path)))
+        assert cached.hits == 2
+        for a, b in zip(parallel.results, cached.results):
+            assert_results_equal(a, b)
+
+    def test_cli_sweep_parallel_then_cached(self, tmp_path, capsys):
+        """The acceptance path: `repro sweep fig9 --jobs 2` twice — the
+        second run is served entirely from the cache."""
+        from repro.cli import main
+
+        argv = ["--scale", str(SCALE), "sweep", "fig9", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 cache hit(s)" in first and "4 simulated" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "4 cache hit(s)" in second and "0 simulated" in second
+        # identical per-flow bandwidth tables either way
+        tbl = lambda out: [l for l in out.splitlines() if " | " in l]
+        assert tbl(first) and tbl(first) == tbl(second)
+
+
+class TestBackwardsCompatibleSignatures:
+    """Old positional call forms keep working through the shims."""
+
+    def test_run_case1_positional(self, small):
+        assert_results_equal(run_case1("1Q", SCALE), small)
+
+    def test_run_case1_positional_seed(self):
+        res = run_case1("1Q", SCALE, 2)
+        assert res.scheme == "1Q"
+
+    def test_run_case1_keyword_only_canonical(self, small):
+        assert_results_equal(run_case1(scheme="1Q", time_scale=SCALE), small)
+
+    def test_run_case_rejects_positional_scheme(self):
+        with pytest.raises(TypeError):
+            run_case("case1", "1Q")
+
+    def test_duplicate_argument_rejected(self):
+        with pytest.raises(TypeError):
+            run_case1("1Q", scheme="CCFIT")
+
+    def test_too_many_positionals_rejected(self):
+        with pytest.raises(TypeError):
+            run_case1("1Q", SCALE, 1, None, "extra")
+
+    def test_run_case4_legacy_num_trees(self):
+        res = run_case4("1Q", 1, SCALE, 1, None, 3.0)
+        assert res.window[0] == pytest.approx(SCALE * 1e6)
+
+    def test_run_fig_positional_schemes(self, small):
+        res = run_fig9(("1Q",), SCALE)
+        assert list(res) == ["1Q"]
+        assert_results_equal(res["1Q"], small)
+
+    def test_run_fig7_panel_positional(self):
+        res = run_fig7("a", ("1Q",), SCALE)
+        assert list(res) == ["1Q"]
+
+    def test_run_fig_options_object(self, tmp_path, small):
+        res = run_fig9(
+            schemes=("1Q",),
+            options=SweepOptions(time_scale=SCALE, cache_dir=str(tmp_path)),
+        )
+        assert_results_equal(res["1Q"], small)
+        assert len(ResultCache(tmp_path)) == 1
