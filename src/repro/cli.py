@@ -15,6 +15,12 @@ Commands
     Run any registered experiment (``fig7a`` ... ``fig10``,
     ``case1`` ... ``case4``) through the sweep engine and report the
     cache hit count.  ``repro sweep --list`` enumerates the names.
+``perf``
+    Benchmark the simulation engine (dispatch microbenchmark on both
+    kernels + full-case events/s with a per-subsystem event histogram)
+    and write ``BENCH_engine.json``.  ``--quick`` runs a CI-sized
+    smoke; ``--cprofile`` adds a cProfile top-N listing.  See
+    docs/performance.md.
 
 Common options: ``--scale`` (time compression, default 0.3),
 ``--seed``, ``--csv PATH`` (dump the throughput series),
@@ -115,7 +121,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--schemes", type=str, default=None, metavar="A,B,..",
                        help="comma-separated scheme subset (default: the experiment's list)")
 
-    for sp in (fig, case, trees, sweep):
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark the simulation engine and write BENCH_engine.json",
+        description="Dispatch microbenchmark on every kernel plus full figure "
+                    "cells with per-subsystem event histograms.",
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="CI-sized smoke run (small microbench, one short case)")
+    perf.add_argument("--case", default="case1", dest="perf_case",
+                      help="figure cell to benchmark (case1..case4)")
+    perf.add_argument("--schemes", type=str, default="CCFIT", metavar="A,B,..",
+                      help="comma-separated schemes to benchmark (default CCFIT)")
+    perf.add_argument("--kernel", default="both", choices=["both", "bucket", "heap"],
+                      help="which engine kernel(s) to measure")
+    perf.add_argument("--events", type=int, default=300_000,
+                      help="microbenchmark event count")
+    perf.add_argument("--out", default="BENCH_engine.json",
+                      help="JSON report path (default: ./BENCH_engine.json)")
+    perf.add_argument("--cprofile", action="store_true",
+                      help="also run one case under cProfile and print the top functions")
+
+    for sp in (fig, case, trees, sweep, perf):
         _add_engine_options(sp, suppress=True)
     return p
 
@@ -270,12 +297,51 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.core.ccfit import SCHEMES as ALL_SCHEMES
+    from repro.experiments.runner import CASE_NAMES
+    from repro.perf import cprofile_case, render_report, run_perf, write_report
+
+    if args.perf_case not in CASE_NAMES:
+        print(f"perf: unknown case {args.perf_case!r}; choose from {CASE_NAMES}",
+              file=sys.stderr)
+        return 2
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    unknown = [s for s in schemes if s not in ALL_SCHEMES]
+    if unknown:
+        print(f"perf: unknown scheme(s) {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    kernels = ("bucket", "heap") if args.kernel == "both" else (args.kernel,)
+    if args.quick:
+        time_scale, micro_events, micro_repeats = 0.03, 60_000, 1
+    else:
+        time_scale, micro_events, micro_repeats = args.scale, args.events, 3
+    report = run_perf(
+        cases=(args.perf_case,),
+        schemes=schemes,
+        kernels=kernels,
+        time_scale=time_scale,
+        seed=args.seed,
+        micro_events=micro_events,
+        micro_repeats=micro_repeats,
+    )
+    report["quick"] = bool(args.quick)
+    print(render_report(report))
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    if args.cprofile:
+        print(cprofile_case(args.perf_case, schemes[0], kernel=kernels[0],
+                            time_scale=time_scale, seed=args.seed))
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig": _cmd_fig,
     "case": _cmd_case,
     "trees": _cmd_trees,
     "sweep": _cmd_sweep,
+    "perf": _cmd_perf,
 }
 
 

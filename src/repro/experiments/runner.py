@@ -136,6 +136,7 @@ def _run(
     seed: int,
     params: Optional[CCParams],
     bin_ns: float,
+    sim_factory=None,
 ) -> CaseResult:
     from repro.metrics.collector import Collector
 
@@ -145,6 +146,7 @@ def _run(
         params=params,
         seed=seed,
         collector=Collector(bin_ns=bin_ns),
+        sim=sim_factory() if sim_factory is not None else None,
     )
     attach_traffic(fabric, flows=flows, uniform=uniform)
     fabric.run(until=duration)
@@ -165,7 +167,9 @@ def _run(
 # ----------------------------------------------------------------------
 # cell runners — one independent simulation each (keyword-only)
 # ----------------------------------------------------------------------
-def _cell_case1(*, scheme: str, time_scale: float, seed: int, params: Optional[CCParams]) -> CaseResult:
+def _cell_case1(
+    *, scheme: str, time_scale: float, seed: int, params: Optional[CCParams], sim_factory=None
+) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
         CONFIG1,
@@ -177,10 +181,13 @@ def _cell_case1(*, scheme: str, time_scale: float, seed: int, params: Optional[C
         seed=seed,
         params=params,
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
+        sim_factory=sim_factory,
     )
 
 
-def _cell_case2(*, scheme: str, time_scale: float, seed: int, params: Optional[CCParams]) -> CaseResult:
+def _cell_case2(
+    *, scheme: str, time_scale: float, seed: int, params: Optional[CCParams], sim_factory=None
+) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
         CONFIG2,
@@ -192,10 +199,13 @@ def _cell_case2(*, scheme: str, time_scale: float, seed: int, params: Optional[C
         seed=seed,
         params=params,
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
+        sim_factory=sim_factory,
     )
 
 
-def _cell_case3(*, scheme: str, time_scale: float, seed: int, params: Optional[CCParams]) -> CaseResult:
+def _cell_case3(
+    *, scheme: str, time_scale: float, seed: int, params: Optional[CCParams], sim_factory=None
+) -> CaseResult:
     duration = 10 * MS * time_scale
     flows, uniform = case3_traffic(time_scale=time_scale)
     return _run(
@@ -208,6 +218,7 @@ def _cell_case3(*, scheme: str, time_scale: float, seed: int, params: Optional[C
         seed=seed,
         params=params,
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
+        sim_factory=sim_factory,
     )
 
 
@@ -219,6 +230,7 @@ def _cell_case4(
     params: Optional[CCParams],
     num_trees: int = 1,
     duration_ms: float = 3.0,
+    sim_factory=None,
 ) -> CaseResult:
     duration = duration_ms * MS * time_scale
     flows, uniform = case4_traffic(num_trees=num_trees, time_scale=time_scale)
@@ -232,6 +244,7 @@ def _cell_case4(
         seed=seed,
         params=params,
         bin_ns=max(20_000.0, 100_000.0 * time_scale),
+        sim_factory=sim_factory,
     )
 
 
@@ -263,7 +276,11 @@ def run_case(
     be a :class:`~repro.experiments.sweep.SweepOptions` supplying the
     defaults for ``time_scale``/``seed``/``params``; explicit keywords
     win over it.  ``extra`` carries per-case knobs (Case #4 accepts
-    ``num_trees`` and ``duration_ms``).
+    ``num_trees`` and ``duration_ms``) plus ``sim_factory`` — a
+    zero-argument callable returning the
+    :class:`repro.sim.engine.Simulator` to run on, which is how the
+    kernel golden tests and the :mod:`repro.perf` harness pin
+    ``kernel=``/``profile=``.
     """
     if case not in _CELLS:
         raise KeyError(f"unknown case {case!r}; choose from {sorted(_CELLS)}")

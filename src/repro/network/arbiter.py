@@ -109,6 +109,21 @@ class ISlip:
                 self._commit(inp, choice, iteration)
         return matched_in
 
+    def match_single(self, inp: int, outs: Iterable[int]) -> int:
+        """Fast path for rounds where exactly one input requests.
+
+        With a single requester every requested output grants it on the
+        first iteration, the input accepts one of them, and the second
+        iteration has nothing left to do — so the full grant/accept
+        bookkeeping of :meth:`match` collapses to one accept pick plus
+        one state commit.  Returns the chosen output; state updates are
+        exactly those ``match({inp: outs})`` would make (both pick
+        rules are order-insensitive over the candidate set).
+        """
+        choice = self._pick_accept(inp, list(outs))
+        self._commit(inp, choice, 0)
+        return choice
+
     # ------------------------------------------------------------------
     def _pick_grant(self, out: int, requesters: List[int]) -> int:
         if self.mode == "pointer":

@@ -40,6 +40,7 @@ from repro.network.packet import (
     CfqStop,
     ControlMessage,
     Packet,
+    free_packet,
 )
 from repro.network.queueing import OneQScheme, QueueScheme
 from repro.sim.engine import Simulator
@@ -81,7 +82,7 @@ class IaStage:
         return self.node.sim.now
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
-        self.node.sim.schedule_in(delay, fn)
+        self.node.sim.post_in(delay, fn)
 
     def send_upstream(self, msg: ControlMessage) -> None:
         pass  # the IA is the top of every congestion tree
@@ -286,7 +287,7 @@ class EndNode:
     def kick_injection(self) -> None:
         if not self._inject_scheduled:
             self._inject_scheduled = True
-            self.sim.schedule(self.sim.now, self._inject)
+            self.sim.post(self.sim.now, self._inject)
 
     def _inject(self) -> None:
         self._inject_scheduled = False
@@ -384,6 +385,9 @@ class EndNode:
             self.uplink.send_control(Becn(self.id, pkt.src, pkt.dst))
         if self.on_delivery is not None:
             self.on_delivery(pkt, self.sim.now)
+        # The sink is the end of the line; the collector keeps only
+        # scalars, so a pooled packet can be recycled immediately.
+        free_packet(pkt)
 
     def receive_control(self, msg: ControlMessage, link: Link) -> None:
         if isinstance(msg, Becn) and msg.dst == self.id:

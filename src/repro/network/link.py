@@ -157,8 +157,12 @@ class Link:
         self.in_flight = pkt
         self.bytes_sent += pkt.size
         self.packets_sent += 1
-        self.sim.schedule(done, self._tx_done)
-        self.sim.schedule(done + self.delay, self._deliver, pkt)
+        # One chained queue entry covers the whole wire lifetime of the
+        # packet: serialisation-done at ``done``, delivery one
+        # propagation delay later.  Both sequence numbers are reserved
+        # here, so ordering is bit-identical to two separate schedules
+        # while halving the busiest path's queue traffic.
+        self.sim.schedule_pair(done, self._tx_done, (), done + self.delay, self._deliver, (pkt,))
         return done
 
     def _tx_done(self) -> None:
@@ -178,7 +182,7 @@ class Link:
         the transmitter after the credit-return wire delay."""
         if nbytes <= 0:
             raise LinkError(f"{self.name}: non-positive credit {nbytes}")
-        self.sim.schedule(self.sim.now + self.delay, self._credit_arrive)
+        self.sim.post(self.sim.now + self.delay, self._credit_arrive)
 
     def _credit_arrive(self) -> None:
         if self.tx is not None:
@@ -189,7 +193,7 @@ class Link:
     # ------------------------------------------------------------------
     def send_control(self, msg: ControlMessage) -> None:
         """Forward-direction control (follows the data): e.g. BECN hops."""
-        self.sim.schedule(
+        self.sim.post(
             self.sim.now + self.delay + CONTROL_HOP_DELAY, self._deliver_control, msg
         )
 
@@ -199,7 +203,7 @@ class Link:
     def send_reverse_control(self, msg: ControlMessage) -> None:
         """Reverse-direction control (against the data): CFQ
         Alloc/Dealloc/Stop/Go congestion propagation."""
-        self.sim.schedule(
+        self.sim.post(
             self.sim.now + self.delay + CONTROL_HOP_DELAY,
             self._deliver_reverse_control,
             msg,

@@ -104,7 +104,7 @@ class InputPort:
         return self.switch.sim.now
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
-        self.switch.sim.schedule_in(delay, fn)
+        self.switch.sim.post_in(delay, fn)
 
     def set_output_hot(self, out_port: int, source: object, hot: bool) -> None:
         self.switch.output_ports[out_port].set_hot((self.index, id(source)), hot)
@@ -265,7 +265,7 @@ class Switch:
             else:
                 k = now / q
                 when = max(now, round(k) * q if abs(k - round(k)) < 1e-6 else (now // q + 1.0) * q)
-            self.sim.schedule(when, self._match)
+            self.sim.post(when, self._match)
 
     def _match(self) -> None:
         self._match_scheduled = False
@@ -277,26 +277,43 @@ class Switch:
         requests: Dict[int, List[int]] = {}
         # (input, output) -> list of (queue, pkt) candidates.
         candidates: Dict[Tuple[int, int], List[Tuple[object, Packet]]] = {}
+        output_ports = self.output_ports
+        min_bw = self._min_link_bw
         for port in self.input_ports:
+            # The scheme caches this list between mutations, so an idle
+            # port costs one truthiness check per round.
+            heads = port.scheme.eligible_heads()
+            if not heads:
+                continue
             # Saturated read path: not even the slowest link fits.
-            if not port.can_read_at(self._min_link_bw):
+            if not port.can_read_at(min_bw):
                 continue
             outs: List[int] = []
-            for queue, out, pkt in port.scheme.eligible_heads():
-                out_port = self.output_ports[out]
-                link = out_port.link_out
+            pidx = port.index
+            for queue, out, pkt in heads:
+                link = output_ports[out].link_out
                 if link is None or not link.can_send(pkt):
                     continue
                 if not port.can_read_at(link.bandwidth):
                     continue
-                candidates.setdefault((port.index, out), []).append((queue, pkt))
-                if out not in outs:
+                key = (pidx, out)
+                cands = candidates.get(key)
+                if cands is None:
+                    candidates[key] = [(queue, pkt)]
                     outs.append(out)
+                else:
+                    cands.append((queue, pkt))
             if outs:
-                requests[port.index] = outs
+                requests[pidx] = outs
         if not requests:
             return
-        matches = self.arbiter.match(requests)
+        if len(requests) == 1:
+            # One requesting input: skip the full grant/accept iteration
+            # (ISlip.match_single commits identical arbiter state).
+            (inp, outs), = requests.items()
+            matches = {inp: self.arbiter.match_single(inp, outs)}
+        else:
+            matches = self.arbiter.match(requests)
         for inp, out in matches.items():
             cands = candidates[(inp, out)]
             port = self.input_ports[inp]

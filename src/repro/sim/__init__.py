@@ -1,12 +1,30 @@
 """Discrete-event simulation substrate.
 
 The engine in :mod:`repro.sim.engine` is the clock and scheduler every
-other component of the reproduction runs on.  It is deliberately small:
-a binary-heap event queue with deterministic FIFO tie-breaking, plus a
-few conveniences (periodic tasks, run-until predicates).
+other component of the reproduction runs on.  Two interchangeable
+kernels implement the same deterministic contract (events fire in
+``(time, seq)`` order): the default calendar/bucket queue with pooled
+entries, and the original binary-heap engine kept as the golden
+reference (``Simulator(kernel="heap")`` / ``REPRO_SIM_KERNEL=heap``).
+See docs/performance.md and :mod:`repro.perf`.
 """
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    Event,
+    SimulationError,
+    Simulator,
+    resolve_kernel,
+)
 from repro.sim.rng import RngFactory
 
-__all__ = ["Event", "Simulator", "RngFactory"]
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "RngFactory",
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "resolve_kernel",
+]

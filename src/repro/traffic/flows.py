@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.network.endnode import EndNode
 from repro.network.fabric import Fabric
-from repro.network.packet import Packet
+from repro.network.packet import alloc_packet, free_packet
 from repro.sim.engine import Simulator
 
 __all__ = ["FlowSpec", "FlowGenerator", "UniformGenerator", "attach_traffic"]
@@ -75,19 +75,20 @@ class FlowGenerator:
         self.spec = spec
         self.offered = 0
         self.rejected = 0
-        sim.schedule(spec.start, self._tick)
+        sim.post(spec.start, self._tick)
 
     def _tick(self) -> None:
         spec = self.spec
         now = self.sim.now
         if spec.end is not None and now >= spec.end:
             return
-        pkt = Packet(spec.src, spec.dst, spec.packet_size, spec.name, created_at=now)
+        pkt = alloc_packet(spec.src, spec.dst, spec.packet_size, spec.name, created_at=now)
         if self.node.offer(pkt):
             self.offered += 1
         else:
             self.rejected += 1
-        self.sim.schedule(now + spec.interval, self._tick)
+            free_packet(pkt)
+        self.sim.post(now + spec.interval, self._tick)
 
 
 class UniformGenerator:
@@ -124,7 +125,7 @@ class UniformGenerator:
             raise ValueError("no eligible destinations")
         self.offered = 0
         self.rejected = 0
-        sim.schedule(start, self._tick)
+        sim.post(start, self._tick)
 
     @property
     def interval(self) -> float:
@@ -135,12 +136,13 @@ class UniformGenerator:
         if self.end is not None and now >= self.end:
             return
         dst = self.dests[int(self.rng.integers(len(self.dests)))]
-        pkt = Packet(self.node.id, dst, self.packet_size, self.name, created_at=now)
+        pkt = alloc_packet(self.node.id, dst, self.packet_size, self.name, created_at=now)
         if self.node.offer(pkt):
             self.offered += 1
         else:
             self.rejected += 1
-        self.sim.schedule(now + self.interval, self._tick)
+            free_packet(pkt)
+        self.sim.post(now + self.interval, self._tick)
 
 
 def attach_traffic(

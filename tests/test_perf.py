@@ -1,0 +1,73 @@
+"""The ``repro perf`` harness: JSON report shape and CLI smoke."""
+
+import json
+
+from repro.cli import main
+from repro.perf import dispatch_microbench, render_report, run_perf, subsystem_counts
+
+
+def test_dispatch_microbench_counts_events():
+    m = dispatch_microbench("bucket", n_events=5_000, repeats=1)
+    assert m["events"] == 5_000
+    assert m["events_per_s"] > 0
+    assert m["wall_s"] > 0
+
+
+def test_subsystem_counts_folds_qualnames():
+    counts = {
+        "Link._tx_done": 10,
+        "Link._deliver": 10,
+        "Switch._match": 5,
+        "InputPort.receive_packet": 2,
+        "EndNode._inject": 3,
+        "FlowGenerator._tick": 4,
+        "weird_function": 1,
+    }
+    subs = subsystem_counts(counts)
+    assert subs["link"] == 20
+    assert subs["switch"] == 7
+    assert subs["endnode"] == 3
+    assert subs["traffic"] == 4
+    assert subs["other"] == 1
+
+
+def test_run_perf_report_shape():
+    report = run_perf(
+        cases=("case1",),
+        schemes=("1Q",),
+        kernels=("bucket", "heap"),
+        time_scale=0.02,
+        seed=1,
+        micro_events=5_000,
+        micro_repeats=1,
+    )
+    assert report["schema"] == "repro.perf/1"
+    assert set(report["microbench"]) == {"bucket", "heap"}
+    assert report["speedup"] > 0
+    assert len(report["cases"]) == 2
+    for row in report["cases"]:
+        assert row["events"] > 0
+        assert row["events_per_s"] > 0
+        assert "subsystems" in row and row["subsystems"]
+    # both kernels executed the exact same event sequence
+    a, b = report["cases"]
+    assert a["events"] == b["events"]
+    assert a["delivered_packets"] == b["delivered_packets"]
+    assert render_report(report)  # renders without blowing up
+
+
+def test_cli_perf_quick_writes_valid_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_engine.json"
+    rc = main(["perf", "--quick", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro.perf/1"
+    assert report["quick"] is True
+    assert "bucket" in report["microbench"] and "heap" in report["microbench"]
+    assert report["cases"], "expected at least one case row"
+    assert capsys.readouterr().out.strip()
+
+
+def test_cli_perf_rejects_unknown_case_and_scheme(tmp_path):
+    assert main(["perf", "--case", "nope", "--out", str(tmp_path / "x.json")]) == 2
+    assert main(["perf", "--schemes", "XX", "--out", str(tmp_path / "x.json")]) == 2
