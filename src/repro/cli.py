@@ -29,6 +29,14 @@ Common options: ``--scale`` (time compression, default 0.3),
 ``sweep`` caches by default, the other commands opt in via
 ``--cache-dir``).  See docs/sweep.md for the job/cache model.
 
+Resilience options (docs/robustness.md): ``--timeout SECONDS``
+(per-cell wall-clock budget), ``--retries N`` (bounded retries with
+exponential backoff), ``--journal PATH`` + ``--resume`` (completed-job
+journal for crash-safe restarts), ``--manifest PATH`` (structured
+ok/retried/failed report), and ``--validate`` (run every simulation
+under the invariant guard, :mod:`repro.sim.guard`).  A sweep with
+failed cells still renders the surviving results and exits 1.
+
 Every simulation command dispatches through
 :mod:`repro.experiments.registry`, so registering a new experiment
 makes it runnable here with no CLI changes.
@@ -37,8 +45,10 @@ makes it runnable here with no CLI changes.
 from __future__ import annotations
 
 import argparse
+import difflib
+import os
 import sys
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.core.ccfit import SCHEMES
 from repro.experiments import registry
@@ -53,6 +63,7 @@ from repro.experiments.report import (
 )
 from repro.experiments.runner import FIG8_SCHEMES, CaseResult
 from repro.experiments.sweep import SweepOptions, SweepReport, default_cache_dir
+from repro.sim.guard import ENV_VALIDATE
 
 __all__ = ["main", "build_parser"]
 
@@ -79,6 +90,20 @@ def _add_engine_options(p: argparse.ArgumentParser, suppress: bool = False) -> N
                         "(default: ~/.cache/repro-sweep for `sweep`, off otherwise)")
     p.add_argument("--no-cache", action="store_true", default=d(False),
                    help="disable the on-disk result cache")
+    p.add_argument("--timeout", type=float, default=d(None), metavar="SECONDS",
+                   help="wall-clock budget per cell; a cell that exceeds it is "
+                        "retried in isolation and then recorded as failed")
+    p.add_argument("--retries", type=int, default=d(2), metavar="N",
+                   help="retries per failed cell, with exponential backoff (default 2)")
+    p.add_argument("--journal", type=str, default=d(None), metavar="PATH",
+                   help="append completed cells to a JSONL journal (crash-safe)")
+    p.add_argument("--resume", action="store_true", default=d(False),
+                   help="replay finished cells from --journal before simulating")
+    p.add_argument("--manifest", type=str, default=d(None), metavar="PATH",
+                   help="write a structured ok/retried/failed manifest as JSON")
+    p.add_argument("--validate", action="store_true", default=d(False),
+                   help="run simulations under the runtime invariant guard "
+                        "(sets REPRO_SIM_VALIDATE=1 so workers inherit it)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,11 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     case = sub.add_parser("case", help="run one traffic case under one scheme")
     case.add_argument("number", type=int, choices=[1, 2, 3])
-    case.add_argument("--scheme", default="CCFIT", choices=list(FIG8_SCHEMES) + ["VOQsw"])
+    case.add_argument("--scheme", default="CCFIT", metavar="NAME",
+                      help="congestion-management scheme (validated with a "
+                           "did-you-mean hint, exit code 2 on a typo)")
 
     trees = sub.add_parser("trees", help="Case #4 scalability probe")
     trees.add_argument("count", type=int)
-    trees.add_argument("--scheme", default="CCFIT", choices=list(FIG8_SCHEMES) + ["VOQsw"])
+    trees.add_argument("--scheme", default="CCFIT", metavar="NAME",
+                      help="congestion-management scheme")
 
     sweep = sub.add_parser(
         "sweep",
@@ -114,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "cells in the on-disk cache so repeated invocations are "
                     "served without re-simulating.",
     )
-    sweep.add_argument("name", nargs="?", choices=list(registry.names()),
+    sweep.add_argument("name", nargs="?", metavar="NAME",
                        help="experiment to run (see --list)")
     sweep.add_argument("--list", action="store_true", dest="list_experiments",
                        help="list registered experiments and exit")
@@ -147,6 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _unknown_name(kind: str, name: str, choices: Iterable[str]) -> int:
+    """Satellite UX: a typo'd experiment/scheme name exits with code 2
+    and a did-you-mean hint instead of a traceback."""
+    names = sorted(choices)
+    close = difflib.get_close_matches(name, names, n=3, cutoff=0.4)
+    hint = f" — did you mean {' or '.join(close)}?" if close else ""
+    print(
+        f"repro: unknown {kind} {name!r}{hint} (choose from {', '.join(names)})",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _options(args: argparse.Namespace, *, cache_by_default: bool) -> SweepOptions:
     """Build SweepOptions from parsed args.  The cache engages when a
     directory was given explicitly, or by default for ``sweep``;
@@ -154,12 +195,19 @@ def _options(args: argparse.Namespace, *, cache_by_default: bool) -> SweepOption
     cache_dir = args.cache_dir
     if cache_dir is None and cache_by_default and not args.no_cache:
         cache_dir = default_cache_dir()
+    if args.resume and not args.journal:
+        print("repro: --resume requires --journal PATH", file=sys.stderr)
+        raise SystemExit(2)
     return SweepOptions(
         time_scale=args.scale,
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=cache_dir,
         use_cache=not args.no_cache,
+        timeout=args.timeout,
+        max_retries=max(0, args.retries),
+        journal=args.journal,
+        resume=args.resume,
     )
 
 
@@ -193,6 +241,8 @@ def _print_case(res: CaseResult) -> None:
 
 def _render_results(exp: Experiment, results: Dict[str, CaseResult], args) -> None:
     """The figure-style rendering, shared by ``fig`` and ``sweep``."""
+    if not results:  # every cell failed — the engine report says why
+        return
     if exp.kind == "series":
         stride_div = 15 if exp.case == "case4" else 18
         n = len(next(iter(results.values())).throughput[0])
@@ -219,9 +269,23 @@ def _render_results(exp: Experiment, results: Dict[str, CaseResult], args) -> No
             print(f"wrote {args.svg}")
 
 
-def _report_engine(report: SweepReport, opts: SweepOptions, always: bool = False) -> None:
-    if always or opts.jobs > 1 or opts.cache_enabled:
+def _report_engine(
+    report: SweepReport,
+    opts: SweepOptions,
+    args: Optional[argparse.Namespace] = None,
+    always: bool = False,
+) -> int:
+    """Print the engine summary and failure details, write the manifest
+    when requested, and turn failures into exit code 1."""
+    if always or opts.jobs > 1 or opts.cache_enabled or report.failures:
         print(f"sweep: {report.summary()}")
+    for failure in report.failures:
+        print(f"sweep: FAILED {failure.summary()}", file=sys.stderr)
+    manifest = getattr(args, "manifest", None) if args is not None else None
+    if manifest:
+        report.write_manifest(manifest)
+        print(f"wrote {manifest}")
+    return 1 if report.failures else 0
 
 
 def _cmd_table1(args) -> int:
@@ -233,37 +297,44 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+#: schemes accepted by `case` / `trees` (the figure-8 set plus VOQsw).
+_CASE_SCHEMES = tuple(FIG8_SCHEMES) + ("VOQsw",)
+
+
 def _cmd_fig(args) -> int:
     exp = registry.get(f"fig{args.panel}")
     opts = _options(args, cache_by_default=False)
     results, report = exp.run(options=opts)
     _render_results(exp, results, args)
-    _report_engine(report, opts)
-    return 0
+    return _report_engine(report, opts, args)
 
 
 def _cmd_case(args) -> int:
+    if args.scheme not in _CASE_SCHEMES:
+        return _unknown_name("scheme", args.scheme, _CASE_SCHEMES)
     exp = registry.get(f"case{args.number}")
     opts = _options(args, cache_by_default=False)
     results, report = exp.run(schemes=(args.scheme,), options=opts)
-    _print_case(results[args.scheme])
+    if args.scheme in results:
+        _print_case(results[args.scheme])
     if args.csv:
         _write_csv(args.csv, results)
-    _report_engine(report, opts)
-    return 0
+    return _report_engine(report, opts, args)
 
 
 def _cmd_trees(args) -> int:
+    if args.scheme not in _CASE_SCHEMES:
+        return _unknown_name("scheme", args.scheme, _CASE_SCHEMES)
     exp = registry.get("case4")
     opts = _options(args, cache_by_default=False)
     results, report = exp.run(schemes=(args.scheme,), options=opts, num_trees=args.count)
-    res = results[args.scheme]
-    _print_case(res)
-    print(f"burst-window throughput: {res.mean_throughput():.1f} GB/s")
+    if args.scheme in results:
+        res = results[args.scheme]
+        _print_case(res)
+        print(f"burst-window throughput: {res.mean_throughput():.1f} GB/s")
     if args.csv:
         _write_csv(args.csv, results)
-    _report_engine(report, opts)
-    return 0
+    return _report_engine(report, opts, args)
 
 
 def _cmd_sweep(args) -> int:
@@ -277,24 +348,20 @@ def _cmd_sweep(args) -> int:
     if args.name is None:
         print("sweep: experiment name required (try `repro sweep --list`)", file=sys.stderr)
         return 2
+    if args.name not in registry.names():
+        return _unknown_name("experiment", args.name, registry.names())
     exp = registry.get(args.name)
     schemes: Optional[tuple] = None
     if args.schemes:
         schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
         unknown = [s for s in schemes if s not in SCHEMES]
         if unknown:
-            print(
-                f"sweep: unknown scheme(s) {', '.join(unknown)}; "
-                f"choose from {', '.join(SCHEMES)}",
-                file=sys.stderr,
-            )
-            return 2
+            return _unknown_name("scheme", unknown[0], SCHEMES)
     opts = _options(args, cache_by_default=True)
     results, report = exp.run(schemes=schemes, options=opts)
     print(exp.title)
     _render_results(exp, results, args)
-    _report_engine(report, opts, always=True)
-    return 0
+    return _report_engine(report, opts, args, always=True)
 
 
 def _cmd_perf(args) -> int:
@@ -347,6 +414,10 @@ _COMMANDS = {
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "validate", False):
+        # environment (not a plumbed flag) so forked sweep workers and
+        # every build_fabric call inherit guard mode (repro.sim.guard).
+        os.environ[ENV_VALIDATE] = "1"
     return _COMMANDS[args.command](args)
 
 

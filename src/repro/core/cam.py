@@ -108,6 +108,7 @@ class InputCam:
         #: scalability limit the paper's Fig. 8 exposes.
         self.alloc_failures = 0
         self.allocations = 0
+        self.frees = 0
 
     # -- queries ---------------------------------------------------------
     def lookup(self, dest: int) -> Optional[CamLine]:
@@ -146,6 +147,29 @@ class InputCam:
             raise CamError(f"freeing unallocated line {line!r}")
         self._lines[line.cfq_index] = None
         del self._by_dest[line.dest]
+        self.frees += 1
+
+    # -- validation hook -------------------------------------------------
+    def audit(self) -> None:
+        """Check internal consistency (invariant-guard hook): the
+        by-destination index matches the line array exactly, and the
+        allocate/free balance equals the live line count."""
+        live = [ln for ln in self._lines if ln is not None]
+        for idx, ln in enumerate(self._lines):
+            if ln is not None and ln.cfq_index != idx:
+                raise CamError(f"line {ln!r} filed at index {idx}")
+        if len(self._by_dest) != len(live):
+            raise CamError(
+                f"CAM index skew: {len(self._by_dest)} dests vs {len(live)} lines"
+            )
+        for dest, ln in self._by_dest.items():
+            if ln.dest != dest or self._lines[ln.cfq_index] is not ln:
+                raise CamError(f"CAM index entry for dest {dest} points at {ln!r}")
+        if self.allocations - self.frees != len(live):
+            raise CamError(
+                f"CFQ alloc/free imbalance: {self.allocations} allocs - "
+                f"{self.frees} frees != {len(live)} live lines"
+            )
 
 
 class OutputCamLine:

@@ -447,3 +447,33 @@ class NfqCfqScheme(QueueScheme):
     def cfq_occupancy(self, dest: int) -> int:
         line = self.cam.lookup(dest)
         return 0 if line is None else self.cfqs[line.cfq_index].bytes
+
+    # -- validation hook -------------------------------------------------
+    def audit(self) -> None:
+        """Invariant-guard hook: CAM internal consistency, queue counter
+        integrity, and the CFQ<->CAM-line mapping (a CFQ holds packets
+        only while a line owns it, and only for that line's
+        destination).  Raises CamError/BufferError on violation."""
+        from repro.core.cam import CamError
+
+        self.cam.audit()
+        self.nfq.audit()
+        for idx, cfq in enumerate(self.cfqs):
+            cfq.audit()
+            line = self.cam.line_at(idx)
+            if line is None:
+                if not cfq.empty:
+                    raise CamError(
+                        f"{cfq.name}: {len(cfq)} packet(s) without a CAM line"
+                    )
+                continue
+            for pkt in cfq:
+                if pkt.dst != line.dest:
+                    raise CamError(
+                        f"{cfq.name}: packet for dest {pkt.dst} filed in the "
+                        f"CFQ isolating dest {line.dest}"
+                    )
+            if line.hot and not line.root:
+                raise CamError(f"{line!r}: hot without being a root")
+            if line.stop_sent and not line.propagated:
+                raise CamError(f"{line!r}: Stop sent without a prior Alloc")

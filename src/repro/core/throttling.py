@@ -150,3 +150,26 @@ class ThrottleState:
     def throttled_destinations(self) -> List[int]:
         """Destinations currently delayed (CCTI > 0)."""
         return [d for d, i in self._ccti.items() if i > 0]
+
+    def snapshot(self) -> Dict[int, int]:
+        """Destination -> CCTI for every throttled destination."""
+        return {d: i for d, i in self._ccti.items() if i > 0}
+
+    # -- validation hook -------------------------------------------------
+    def audit(self) -> None:
+        """Invariant-guard hook: every CCTI indexes inside the CCT, and
+        every raised CCTI has a live decay timer (a lost timer would
+        throttle a destination forever — §III-D's recovery path)."""
+        top = len(self.cct) - 1
+        for dest, idx in self._ccti.items():
+            if not 0 <= idx <= top:
+                raise RuntimeError(
+                    f"CCTI for dest {dest} is {idx}, outside the CCT [0, {top}]"
+                )
+            if idx > 0:
+                timer = self._timers.get(dest)
+                if timer is None or timer.cancelled or timer._entry is None:
+                    raise RuntimeError(
+                        f"dest {dest} throttled at CCTI {idx} with no live "
+                        f"CCTI_Timer — the flow would never recover"
+                    )

@@ -1,0 +1,263 @@
+"""Fault-tolerant sweep execution: retries, timeouts, quarantine, journal.
+
+:func:`repro.experiments.sweep.run_sweep` treats a sweep as an
+embarrassingly parallel grid; this module supplies the machinery that
+keeps one bad cell from taking the grid down with it:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic* jitter (derived from the job key, so two runs of the
+  same sweep back off identically and results stay reproducible);
+* :class:`JobFailure` — the structured record a failed cell leaves
+  behind (exception type, message, traceback text, attempt count and a
+  failure *kind*: ``"error"`` for an exception inside the simulation,
+  ``"timeout"`` for a wedged worker, ``"crash"`` for a worker process
+  that died);
+* :func:`execute_job` — the worker entry point.  It never lets an
+  exception escape as a bare pool failure: errors come back as
+  structured records the parent can retry or report
+  (``KeyboardInterrupt`` still propagates promptly so Ctrl-C works);
+* :func:`run_isolated` — quarantine execution: one job in its own
+  single-worker process, used both to re-try a job suspected of
+  poisoning a shared pool and to enforce wall-clock timeouts;
+* :class:`SweepJournal` — an append-only JSONL journal of completed
+  cells.  A sweep interrupted half-way can be resumed
+  (``SweepOptions(journal=..., resume=True)`` / ``repro sweep
+  --journal PATH --resume``): journaled results are replayed without
+  re-simulating, and the serialization round-trip is lossless, so
+  resumed results are byte-identical to a clean run.
+
+See ``docs/robustness.md`` for the failure-manifest format and the
+overall execution model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "JobFailure",
+    "RetryPolicy",
+    "SweepJournal",
+    "execute_job",
+    "run_isolated",
+    "terminate_pool",
+]
+
+
+@dataclass
+class JobFailure:
+    """Structured record of one cell that could not be completed."""
+
+    #: the job's cache key (SHA-256 of its payload).
+    key: str
+    #: human-readable cell label, e.g. ``case1/CCFIT``.
+    label: str
+    #: ``"error"`` | ``"timeout"`` | ``"crash"``.
+    kind: str
+    #: exception class name (``"RuntimeError"``), or a synthetic name
+    #: for process-level failures (``"WorkerCrash"``, ``"JobTimeout"``).
+    exception: str
+    message: str
+    #: formatted traceback from inside the worker ("" when the process
+    #: died before it could report one).
+    traceback: str = ""
+    #: total attempts made (first try + retries).
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "kind": self.kind,
+            "exception": self.exception,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    def summary(self) -> str:
+        return f"{self.label}: {self.kind} after {self.attempts} attempt(s) ({self.exception}: {self.message})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter."""
+
+    #: retries *after* the first attempt (0 disables retrying).
+    max_retries: int = 2
+    #: first backoff delay (seconds).
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    #: extra fraction of the delay added from the job key (spreads
+    #: concurrent retries without a random source, so sweeps replay
+    #: identically).
+    jitter: float = 0.25
+    #: hard cap on one backoff sleep (seconds).
+    backoff_max: float = 10.0
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
+        frac = int(key[:8], 16) / float(0xFFFFFFFF) if key[:8] else 0.0
+        return min(self.backoff_max, base * (1.0 + self.jitter * frac))
+
+
+def execute_job(job) -> Dict[str, Any]:
+    """Worker entry point: run one cell, ship back a structured record.
+
+    Successful cells return ``{"ok": True, "result": <CaseResult dict>}``
+    (the same serialized form the cache stores, so parallel, journaled
+    and cached paths share one decode path).  Exceptions inside the
+    simulation return ``{"ok": False, "error": {...}}`` instead of
+    surfacing as bare pool failures — the parent decides whether to
+    retry.  ``KeyboardInterrupt`` (and other ``BaseException``\\ s such
+    as ``SystemExit``) are re-raised so interruption propagates
+    promptly.
+    """
+    try:
+        return {"ok": True, "key": job.key(), "result": job.run().to_dict()}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "key": job.key(),
+            "error": {
+                "exception": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        }
+
+
+def terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, killing wedged workers.
+
+    ``shutdown(wait=True)`` would block on a worker stuck in an
+    endless simulation; terminating the processes first makes the
+    shutdown return promptly.  Used when a per-job timeout fires.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - process already gone
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken executor internals
+        pass
+
+
+def run_isolated(job, timeout: Optional[float] = None) -> Dict[str, Any]:
+    """Run one job in its own single-worker process (quarantine).
+
+    Used to (a) retry a job suspected of having poisoned a shared pool
+    without risking the other cells, and (b) enforce a wall-clock
+    timeout on a single cell.  Returns the structured record of
+    :func:`execute_job`; process-level failures are mapped onto the
+    same shape with ``kind`` detail in the error record.
+    """
+    pool = ProcessPoolExecutor(max_workers=1)
+    try:
+        future = pool.submit(execute_job, job)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            terminate_pool(pool)
+            return {
+                "ok": False,
+                "key": job.key(),
+                "kind": "timeout",
+                "error": {
+                    "exception": "JobTimeout",
+                    "message": f"no result within {timeout:.1f} s (worker terminated)",
+                    "traceback": "",
+                },
+            }
+        except BrokenProcessPool:
+            return {
+                "ok": False,
+                "key": job.key(),
+                "kind": "crash",
+                "error": {
+                    "exception": "WorkerCrash",
+                    "message": "worker process died while running the job",
+                    "traceback": "",
+                },
+            }
+    finally:
+        terminate_pool(pool)
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed sweep cells.
+
+    One line per event::
+
+        {"key": "<sha256>", "ok": true,  "result": {...}}   # completed
+        {"key": "<sha256>", "ok": false, "failure": {...}}  # gave up
+
+    :meth:`load` tolerates a truncated trailing line (the crash that
+    motivated the journal may have happened mid-write); everything up
+    to the last complete line is recovered.  Results ride inline so a
+    resume does not depend on the (optional, separately managed) result
+    cache.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = None
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Key -> completed ok-record.  Failure lines are *not* returned:
+        a resumed sweep retries previously failed cells."""
+        done: Dict[str, Dict[str, Any]] = {}
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return done
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # truncated tail from an interrupted write
+            if isinstance(rec, dict) and rec.get("ok") and "key" in rec and "result" in rec:
+                done[rec["key"]] = rec
+        return done
+
+    # -- writing -------------------------------------------------------
+    def _append(self, rec: Dict[str, Any]) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_result(self, key: str, result: Dict[str, Any]) -> None:
+        self._append({"key": key, "ok": True, "result": result})
+
+    def record_failure(self, failure: JobFailure) -> None:
+        self._append({"key": failure.key, "ok": False, "failure": failure.to_dict()})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

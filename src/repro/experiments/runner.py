@@ -137,6 +137,7 @@ def _run(
     params: Optional[CCParams],
     bin_ns: float,
     sim_factory=None,
+    validate: Optional[bool] = None,
 ) -> CaseResult:
     from repro.metrics.collector import Collector
 
@@ -147,6 +148,7 @@ def _run(
         seed=seed,
         collector=Collector(bin_ns=bin_ns),
         sim=sim_factory() if sim_factory is not None else None,
+        validate=validate,
     )
     attach_traffic(fabric, flows=flows, uniform=uniform)
     fabric.run(until=duration)
@@ -168,7 +170,13 @@ def _run(
 # cell runners — one independent simulation each (keyword-only)
 # ----------------------------------------------------------------------
 def _cell_case1(
-    *, scheme: str, time_scale: float, seed: int, params: Optional[CCParams], sim_factory=None
+    *,
+    scheme: str,
+    time_scale: float,
+    seed: int,
+    params: Optional[CCParams],
+    sim_factory=None,
+    validate: Optional[bool] = None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -182,11 +190,18 @@ def _cell_case1(
         params=params,
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
         sim_factory=sim_factory,
+        validate=validate,
     )
 
 
 def _cell_case2(
-    *, scheme: str, time_scale: float, seed: int, params: Optional[CCParams], sim_factory=None
+    *,
+    scheme: str,
+    time_scale: float,
+    seed: int,
+    params: Optional[CCParams],
+    sim_factory=None,
+    validate: Optional[bool] = None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -200,11 +215,18 @@ def _cell_case2(
         params=params,
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
         sim_factory=sim_factory,
+        validate=validate,
     )
 
 
 def _cell_case3(
-    *, scheme: str, time_scale: float, seed: int, params: Optional[CCParams], sim_factory=None
+    *,
+    scheme: str,
+    time_scale: float,
+    seed: int,
+    params: Optional[CCParams],
+    sim_factory=None,
+    validate: Optional[bool] = None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     flows, uniform = case3_traffic(time_scale=time_scale)
@@ -219,6 +241,7 @@ def _cell_case3(
         params=params,
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
         sim_factory=sim_factory,
+        validate=validate,
     )
 
 
@@ -231,6 +254,7 @@ def _cell_case4(
     num_trees: int = 1,
     duration_ms: float = 3.0,
     sim_factory=None,
+    validate: Optional[bool] = None,
 ) -> CaseResult:
     duration = duration_ms * MS * time_scale
     flows, uniform = case4_traffic(num_trees=num_trees, time_scale=time_scale)
@@ -245,6 +269,7 @@ def _cell_case4(
         params=params,
         bin_ns=max(20_000.0, 100_000.0 * time_scale),
         sim_factory=sim_factory,
+        validate=validate,
     )
 
 

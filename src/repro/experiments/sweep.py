@@ -8,20 +8,31 @@ them through :func:`run_sweep`, which
 * fans cells out across worker processes via
   :class:`concurrent.futures.ProcessPoolExecutor` when
   ``SweepOptions.jobs > 1`` (falling back to serial in-process
-  execution when the platform lacks usable multiprocessing), and
+  execution when the platform lacks usable multiprocessing),
 * memoizes finished cells in a :class:`ResultCache` keyed by a SHA-256
   hash of everything that determines the cell's output — topology
   descriptor, :class:`~repro.core.params.CCParams`, traffic case,
   scheme, seed, time scale and the ``repro`` version — so repeated CLI
   runs, benchmarks and EXPERIMENTS.md regeneration reuse results
-  instead of re-simulating.
+  instead of re-simulating, and
+* survives misbehaving cells: per-job wall-clock timeouts, bounded
+  retries with exponential backoff, quarantine of jobs that crash or
+  wedge their worker (retried in an isolated single-worker process,
+  then recorded in the failure manifest without aborting the sweep),
+  graceful degradation to serial execution when pools keep breaking,
+  and an optional completed-job journal enabling ``--resume`` after an
+  interrupt.  Partial results are first-class: a failed cell leaves a
+  ``None`` slot and a structured :class:`~repro.experiments.resilience.JobFailure`
+  in ``SweepReport.failures``.
 
 Determinism contract: a cell is seeded only by its own ``SimJob``
-fields, so a parallel run, a serial run and a cache hit all yield
-bit-for-bit identical aggregates (`CaseResult` serialization is
-lossless; JSON round-trips finite floats exactly).
+fields, so a parallel run, a serial run, a retried run, a resumed run
+and a cache hit all yield bit-for-bit identical aggregates
+(`CaseResult` serialization is lossless; JSON round-trips finite
+floats exactly).
 
-See ``docs/sweep.md`` for the job/cache model.
+See ``docs/sweep.md`` for the job/cache model and
+``docs/robustness.md`` for the failure-handling model.
 """
 
 from __future__ import annotations
@@ -32,7 +43,10 @@ import json
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as _traceback
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,6 +55,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro import __version__
 from repro.core.params import CCParams
 from repro.experiments.configs import CONFIG1, CONFIG2, CONFIG3
+from repro.experiments.resilience import (
+    JobFailure,
+    RetryPolicy,
+    SweepJournal,
+    execute_job,
+    run_isolated,
+    terminate_pool,
+)
 from repro.experiments.runner import CASE_NAMES, CaseResult, run_case
 
 __all__ = [
@@ -79,10 +101,27 @@ class SweepOptions:
     cache_dir: Optional[str] = None
     #: master switch (lets a CLI ``--no-cache`` keep the dir setting).
     use_cache: bool = True
+    #: per-job wall-clock timeout in *seconds*, or None for no limit.
+    #: Enforcing a timeout requires running the job in a worker process
+    #: (a wedged in-process job cannot be interrupted), so a timeout
+    #: also routes ``jobs=1`` runs through single-worker pools.
+    timeout: Optional[float] = None
+    #: bounded retries per failing cell (on top of the first attempt).
+    max_retries: int = 2
+    #: first retry backoff in seconds (doubles per retry, plus
+    #: deterministic per-job jitter — see resilience.RetryPolicy).
+    backoff: float = 0.25
+    #: path of a completed-job JSONL journal, or None for no journal.
+    journal: Optional[str] = None
+    #: replay completed cells from the journal instead of re-running.
+    resume: bool = False
 
     @property
     def cache_enabled(self) -> bool:
         return self.use_cache and self.cache_dir is not None
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(max_retries=self.max_retries, backoff_base=self.backoff)
 
 
 #: per-case topology descriptors baked into cache keys: a cell's output
@@ -151,33 +190,110 @@ class SimJob:
             **dict(self.extra),
         )
 
-    def label(self) -> str:  # pragma: no cover - cosmetic
+    def label(self) -> str:
         extra = ",".join(f"{k}={v}" for k, v in self.extra)
         return f"{self.case}/{self.scheme}" + (f"[{extra}]" if extra else "")
 
 
 class ResultCache:
     """Content-addressed store of finished cells: one JSON file per
-    cache key under ``root``.  Writes are atomic (tmp + rename) so
-    concurrent sweeps sharing a directory never observe torn files;
-    unreadable or schema-mismatched entries count as misses."""
+    cache key under ``root``.
+
+    Integrity hardening:
+
+    * writes are atomic (tmp + rename), so concurrent sweeps sharing a
+      directory never observe torn files;
+    * every entry embeds a SHA-256 digest of its result payload,
+      verified on read, so a corrupt or truncated entry can never
+      silently poison a figure;
+    * a corrupt entry is moved to ``root/quarantine/`` (preserving the
+      evidence), counted in :attr:`discarded`, reported through
+      :mod:`warnings`, and the cell is recomputed — a bad entry is a
+      loud miss, never a wrong result.
+
+    Only *data* errors are treated as misses (unreadable file, invalid
+    JSON, digest mismatch, undecodable result schema); programming
+    errors propagate.
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: entries discarded as corrupt/undecodable since construction.
+        self.discarded = 0
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @staticmethod
+    def _digest(result: Dict[str, Any]) -> str:
+        blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _discard(self, key: str, reason: str) -> None:
+        """Quarantine a bad entry (or drop it if even that fails)."""
+        self.discarded += 1
+        target: Optional[Path] = self.quarantine_dir / f"{key}.json"
+        try:
+            self.quarantine_dir.mkdir(exist_ok=True)
+            os.replace(self.path(key), target)
+        except OSError:
+            target = None
+            try:
+                self.path(key).unlink()
+            except OSError:
+                pass
+        where = f"; quarantined to {target}" if target is not None else ""
+        warnings.warn(
+            f"sweep cache entry {key[:12]}... discarded: {reason}{where} "
+            f"(the cell will be recomputed)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def get(self, key: str) -> Optional[CaseResult]:
         try:
-            data = json.loads(self.path(key).read_text())
+            text = self.path(key).read_text()
+        except FileNotFoundError:
+            return None  # a plain miss
+        except OSError as exc:
+            warnings.warn(
+                f"sweep cache entry {key[:12]}... unreadable ({exc}); treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._discard(key, "invalid JSON (torn or truncated write)")
+            return None
+        if not isinstance(data, dict) or "result" not in data:
+            self._discard(key, "unrecognized entry schema")
+            return None
+        stored = data.get("sha256")
+        if stored is not None and stored != self._digest(data["result"]):
+            self._discard(key, "content digest mismatch")
+            return None
+        try:
             return CaseResult.from_dict(data["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (KeyError, TypeError, ValueError) as exc:
+            # digest-valid but undecodable: written by an incompatible
+            # schema version.  Loudly recompute rather than guess.
+            self._discard(key, f"undecodable result ({type(exc).__name__}: {exc})")
             return None
 
     def put(self, key: str, result: CaseResult, job: Optional[SimJob] = None) -> None:
-        payload: Dict[str, Any] = {"result": result.to_dict()}
+        result_dict = result.to_dict()
+        payload: Dict[str, Any] = {
+            "schema": 2,
+            "sha256": self._digest(result_dict),
+            "result": result_dict,
+        }
         if job is not None:
             payload["job"] = job.payload()
         tmp = self.path(key).with_suffix(f".tmp.{os.getpid()}")
@@ -201,39 +317,121 @@ class ResultCache:
 @dataclass
 class SweepReport:
     """What :func:`run_sweep` did: results aligned with the job list,
-    plus cache and execution accounting."""
+    plus cache, execution and failure accounting.
+
+    Partial results are first-class: a cell that exhausted its retries
+    leaves ``None`` in :attr:`results` and a structured
+    :class:`~repro.experiments.resilience.JobFailure` in
+    :attr:`failures`; everything else is intact.
+    """
 
     jobs: List[SimJob]
-    results: List[CaseResult]
+    results: List[Optional[CaseResult]]
     #: cells served from the on-disk cache.
     hits: int = 0
-    #: cells actually simulated this run.
+    #: cells not served from cache/journal (attempted this run).
     misses: int = 0
     #: worker processes used (1 = serial, incl. parallel fallback).
     workers: int = 1
     elapsed: float = 0.0
+    #: cells replayed from the resume journal.
+    resumed: int = 0
+    #: retry attempts performed across all cells.
+    retried: int = 0
+    #: structured records of the cells that could not be completed.
+    failures: List[JobFailure] = field(default_factory=list)
+    #: execution degraded to serial after repeated pool breakage.
+    degraded: bool = False
+    #: corrupt cache entries discarded (and recomputed) this run.
+    cache_discarded: int = 0
+    #: human-readable execution notes (e.g. unenforceable timeouts).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> int:
+        """Cells simulated successfully this run."""
+        return self.misses - len(self.failures)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
 
     def by_scheme(self) -> Dict[str, CaseResult]:
-        """Scheme -> result, for the common one-cell-per-scheme grids."""
-        return {job.scheme: res for job, res in zip(self.jobs, self.results)}
+        """Scheme -> result, for the common one-cell-per-scheme grids.
+        Failed cells are absent from the mapping."""
+        return {
+            job.scheme: res for job, res in zip(self.jobs, self.results) if res is not None
+        }
 
     def summary(self) -> str:
-        return (
+        s = (
             f"{len(self.jobs)} cell(s): {self.hits} cache hit(s), "
-            f"{self.misses} simulated on {self.workers} worker(s) "
+            f"{self.ok} simulated on {self.workers} worker(s) "
             f"in {self.elapsed:.1f} s"
         )
+        if self.resumed:
+            s += f", {self.resumed} resumed from journal"
+        if self.retried:
+            s += f", {self.retried} retried"
+        if self.failures:
+            s += f", {len(self.failures)} FAILED"
+        if self.degraded:
+            s += " (degraded to serial after pool breakage)"
+        return s
+
+    # -- failure manifest ----------------------------------------------
+    def manifest(self) -> Dict[str, Any]:
+        """A JSON-safe structured account of the run (see
+        docs/robustness.md for the schema)."""
+        failed_keys = {f.key for f in self.failures}
+        cells = []
+        for job, res in zip(self.jobs, self.results):
+            key = job.key()
+            cells.append(
+                {
+                    "label": job.label(),
+                    "key": key,
+                    "status": "failed" if key in failed_keys and res is None else "ok",
+                }
+            )
+        return {
+            "schema": 1,
+            "cells": len(self.jobs),
+            "ok": self.ok,
+            "cache_hits": self.hits,
+            "resumed": self.resumed,
+            "retried": self.retried,
+            "failed": len(self.failures),
+            "workers": self.workers,
+            "degraded": self.degraded,
+            "cache_discarded": self.cache_discarded,
+            "elapsed_s": self.elapsed,
+            "notes": list(self.notes),
+            "jobs": cells,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def write_manifest(self, path) -> None:
+        """Atomically write :meth:`manifest` as JSON to ``path``."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        tmp = p.with_suffix(p.suffix + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(self.manifest(), indent=2) + "\n")
+        os.replace(tmp, p)
 
 
 def _execute_job(job: SimJob) -> Dict[str, Any]:
-    """Worker entry point: run one cell, ship it back as a JSON-safe
-    dict (the same serialized form the cache stores, so parallel and
-    cached paths share one decode path)."""
-    return job.run().to_dict()
+    """Worker entry point (kept as the historical name; the
+    implementation lives in :func:`repro.experiments.resilience.execute_job`).
+    Returns a structured ``{"ok": ..., ...}`` record — worker exceptions
+    never surface as bare pool failures, while ``KeyboardInterrupt``
+    still propagates promptly."""
+    return execute_job(job)
 
 
 #: pool-infrastructure failures that trigger the serial fallback;
-#: simulation errors inside a worker are *not* swallowed.
+#: simulation errors inside a worker are *not* swallowed (they come
+#: back as structured records from :func:`execute_job`).
 _POOL_ERRORS = (
     OSError,
     ImportError,
@@ -243,63 +441,319 @@ _POOL_ERRORS = (
     pickle.PicklingError,
 )
 
+#: pool teardowns tolerated before degrading to serial execution.
+_MAX_POOL_REBUILDS = 2
 
-def _parallel_map(jobs: Sequence[SimJob], workers: int) -> List[Dict[str, Any]]:
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        return list(pool.map(_execute_job, jobs))
+
+class _SweepRun:
+    """One :func:`run_sweep` invocation's mutable execution state."""
+
+    def __init__(
+        self,
+        jobs: Sequence[SimJob],
+        keys: List[str],
+        opts: SweepOptions,
+        cache: Optional[ResultCache],
+        journal: Optional[SweepJournal],
+    ) -> None:
+        self.jobs = jobs
+        self.keys = keys
+        self.opts = opts
+        self.cache = cache
+        self.journal = journal
+        self.policy = opts.retry_policy()
+        self.results: List[Optional[CaseResult]] = [None] * len(jobs)
+        self.failures: List[JobFailure] = []
+        self.retried = 0
+        self.degraded = False
+        self.notes: List[str] = []
+
+    # -- bookkeeping ---------------------------------------------------
+    def complete(self, i: int, result: CaseResult, result_dict: Optional[Dict] = None) -> None:
+        self.results[i] = result
+        if self.cache is not None:
+            self.cache.put(self.keys[i], result, job=self.jobs[i])
+        if self.journal is not None:
+            self.journal.record_result(
+                self.keys[i], result_dict if result_dict is not None else result.to_dict()
+            )
+
+    def fail(self, i: int, kind: str, exception: str, message: str, tb: str, attempts: int) -> None:
+        failure = JobFailure(
+            key=self.keys[i],
+            label=self.jobs[i].label(),
+            kind=kind,
+            exception=exception,
+            message=message,
+            traceback=tb,
+            attempts=attempts,
+        )
+        self.failures.append(failure)
+        if self.journal is not None:
+            self.journal.record_failure(failure)
+
+    def backoff(self, attempt: int, i: int) -> None:
+        self.retried += 1
+        time.sleep(self.policy.delay(attempt, self.keys[i]))
+
+    # -- in-process serial execution -----------------------------------
+    def run_serial(self, indices: Sequence[int]) -> None:
+        """The zero-infrastructure path: in-process, exceptions captured
+        per cell, retries honoured.  Wall-clock timeouts cannot be
+        enforced in-process (a wedged job never yields control)."""
+        for i in indices:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = self.jobs[i].run()
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    if attempt <= self.policy.max_retries:
+                        self.backoff(attempt, i)
+                        continue
+                    self.fail(
+                        i, "error", type(exc).__name__, str(exc),
+                        _traceback.format_exc(), attempt,
+                    )
+                    break
+                else:
+                    self.complete(i, result)
+                    break
+
+    # -- quarantined (isolated single-worker) execution ----------------
+    def run_quarantined(self, i: int, attempt: int) -> None:
+        """A job suspected of poisoning a shared pool (or needing an
+        enforced timeout) runs in its own single-worker process until it
+        completes or exhausts its retry budget."""
+        while True:
+            attempt += 1
+            try:
+                record = run_isolated(self.jobs[i], timeout=self.opts.timeout)
+            except _POOL_ERRORS:
+                # cannot even bring up an isolation process: last resort
+                # is the in-process path (no timeout enforcement).
+                if self.opts.timeout is not None:
+                    self.notes.append(
+                        f"{self.jobs[i].label()}: isolation pool unavailable; "
+                        f"ran in-process without timeout enforcement"
+                    )
+                self.run_serial([i])
+                return
+            if record.get("ok"):
+                self.complete(i, CaseResult.from_dict(record["result"]), record["result"])
+                return
+            if attempt <= self.policy.max_retries:
+                self.backoff(attempt, i)
+                continue
+            err = record.get("error", {})
+            self.fail(
+                i,
+                record.get("kind", "error"),
+                err.get("exception", "UnknownError"),
+                err.get("message", ""),
+                err.get("traceback", ""),
+                attempt,
+            )
+            return
+
+    # -- shared-pool parallel execution --------------------------------
+    def run_parallel(self, indices: Sequence[int], max_workers: int) -> bool:
+        """Fan ``indices`` out across a worker pool.
+
+        Returns False when the pool infrastructure is unusable (the
+        caller falls back to :meth:`run_serial`).  Handles, without
+        aborting the sweep:
+
+        * structured error records — bounded retries with backoff;
+        * a worker crash (``BrokenProcessPool``) — every in-flight job
+          becomes a *suspect* and is retried in quarantine, where the
+          poisoned job reveals itself and innocent bystanders complete;
+        * a per-job timeout — the pool is torn down (the wedged worker
+          cannot be interrupted), the expired job goes to quarantine
+          with an enforced timeout, and unexpired in-flight jobs are
+          requeued without blame;
+        * repeated pool breakage — after ``_MAX_POOL_REBUILDS``
+          teardowns the remaining cells degrade to quarantined/serial
+          execution.
+        """
+        queue = deque((i, 1) for i in indices)
+        inflight: Dict[Any, Tuple[int, int, Optional[float]]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        pool_breaks = 0
+        timeout = self.opts.timeout
+        try:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        except _POOL_ERRORS:
+            return False
+        try:
+            while queue or inflight:
+                # degrade once pools have proven unreliable
+                if pool is None and pool_breaks >= _MAX_POOL_REBUILDS:
+                    self.degraded = True
+                    remaining = [i for i, _a in queue]
+                    queue.clear()
+                    if timeout is not None:
+                        for i in remaining:
+                            self.run_quarantined(i, 0)
+                    else:
+                        self.run_serial(remaining)
+                    continue
+                if pool is None:
+                    try:
+                        pool = ProcessPoolExecutor(max_workers=max_workers)
+                    except _POOL_ERRORS:
+                        pool_breaks = _MAX_POOL_REBUILDS  # force degradation
+                        continue
+                # top up the pool
+                broken = False
+                suspects: List[Tuple[int, int]] = []
+                while queue and len(inflight) < max_workers:
+                    i, attempt = queue.popleft()
+                    try:
+                        future = pool.submit(execute_job, self.jobs[i])
+                    except _POOL_ERRORS:
+                        queue.appendleft((i, attempt))
+                        broken = True
+                        break
+                    deadline = (time.monotonic() + timeout) if timeout is not None else None
+                    inflight[future] = (i, attempt, deadline)
+                expired: List[Tuple[Any, Tuple[int, int, Optional[float]]]] = []
+                if not broken and inflight:
+                    wait_for: Optional[float] = None
+                    if timeout is not None:
+                        nearest = min(dl for (_i, _a, dl) in inflight.values())
+                        wait_for = max(0.0, nearest - time.monotonic())
+                    done, _not_done = wait(
+                        set(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        i, attempt, _dl = inflight.pop(future)
+                        try:
+                            record = future.result()
+                        except KeyboardInterrupt:
+                            raise
+                        except BaseException:
+                            # the worker died while running this job (or
+                            # the pool broke under it): quarantine.
+                            suspects.append((i, attempt))
+                            broken = True
+                            continue
+                        if record.get("ok"):
+                            self.complete(
+                                i, CaseResult.from_dict(record["result"]), record["result"]
+                            )
+                        elif attempt <= self.policy.max_retries:
+                            self.backoff(attempt, i)
+                            queue.append((i, attempt + 1))
+                        else:
+                            err = record.get("error", {})
+                            self.fail(
+                                i, "error",
+                                err.get("exception", "UnknownError"),
+                                err.get("message", ""),
+                                err.get("traceback", ""),
+                                attempt,
+                            )
+                    if not done and timeout is not None:
+                        now = time.monotonic()
+                        expired = [
+                            (f, v) for f, v in inflight.items()
+                            if v[2] is not None and v[2] <= now
+                        ]
+                if expired:
+                    # a worker is wedged: the pool must go (a stuck
+                    # process cannot be interrupted from outside).
+                    for future, (i, attempt, _dl) in expired:
+                        del inflight[future]
+                        suspects.append((i, attempt))
+                    broken = True
+                if broken:
+                    # unexpired in-flight jobs are innocent bystanders:
+                    # requeue them without consuming a retry.
+                    for future, (i, attempt, _dl) in list(inflight.items()):
+                        queue.appendleft((i, attempt))
+                    inflight.clear()
+                    terminate_pool(pool)
+                    pool = None
+                    pool_breaks += 1
+                    for i, attempt in suspects:
+                        self.run_quarantined(i, attempt)
+            return True
+        finally:
+            if pool is not None:
+                terminate_pool(pool)
 
 
 def run_sweep(jobs: Sequence[SimJob], *, options: Optional[SweepOptions] = None) -> SweepReport:
     """Execute a grid of cells, reusing cached results where possible.
 
-    Cells already in the cache are returned without simulating; the
-    rest run either serially (``options.jobs <= 1``) or on a process
-    pool.  If the pool cannot be brought up (restricted platforms,
-    unpicklable state), the engine degrades gracefully to serial
-    execution — results are identical either way.
+    Cells already in the cache (or, with ``options.resume``, the
+    journal) are returned without simulating; the rest run either
+    serially (``options.jobs <= 1``) or on a process pool.  If the pool
+    cannot be brought up (restricted platforms, unpicklable state), the
+    engine degrades gracefully to serial execution — results are
+    identical either way.  A cell that crashes, times out or keeps
+    raising is recorded in ``SweepReport.failures`` and leaves a
+    ``None`` result slot; the rest of the sweep completes normally.
     """
     opts = options if options is not None else SweepOptions()
     cache = ResultCache(opts.cache_dir) if opts.cache_enabled else None
+    journal = SweepJournal(opts.journal) if opts.journal else None
     t0 = time.perf_counter()
 
-    results: List[Optional[CaseResult]] = [None] * len(jobs)
-    keys: List[Optional[str]] = [None] * len(jobs)
+    keys = [job.key() for job in jobs]
+    journaled = journal.load() if (journal is not None and opts.resume) else {}
+    run = _SweepRun(jobs, keys, opts, cache, journal)
+
     pending: List[int] = []
     hits = 0
+    resumed = 0
     for i, job in enumerate(jobs):
+        rec = journaled.get(keys[i])
+        if rec is not None:
+            run.results[i] = CaseResult.from_dict(rec["result"])
+            resumed += 1
+            continue
         if cache is not None:
-            keys[i] = job.key()
             found = cache.get(keys[i])
             if found is not None:
-                results[i] = found
+                run.results[i] = found
                 hits += 1
                 continue
         pending.append(i)
 
     workers = 1
-    if pending:
-        executed: Optional[List[Dict[str, Any]]] = None
-        if opts.jobs > 1 and len(pending) > 1:
-            try:
-                executed = _parallel_map([jobs[i] for i in pending], opts.jobs)
-                workers = min(opts.jobs, len(pending))
-            except _POOL_ERRORS:
-                executed = None  # fall back to serial below
-        if executed is not None:
-            for i, data in zip(pending, executed):
-                results[i] = CaseResult.from_dict(data)
-        else:
-            for i in pending:
-                results[i] = jobs[i].run()
-        if cache is not None:
-            for i in pending:
-                cache.put(keys[i] or jobs[i].key(), results[i], job=jobs[i])
+    try:
+        if pending:
+            if opts.jobs > 1 and len(pending) > 1:
+                n_workers = min(opts.jobs, len(pending))
+                if run.run_parallel(pending, n_workers):
+                    workers = n_workers
+                else:
+                    run.run_serial(pending)
+            elif opts.timeout is not None:
+                # timeouts need a worker process even for serial runs
+                for i in pending:
+                    run.run_quarantined(i, 0)
+            else:
+                run.run_serial(pending)
+    finally:
+        if journal is not None:
+            journal.close()
 
     return SweepReport(
         jobs=list(jobs),
-        results=results,  # type: ignore[arg-type] - every slot is filled
+        results=run.results,
         hits=hits,
         misses=len(pending),
         workers=workers,
         elapsed=time.perf_counter() - t0,
+        resumed=resumed,
+        retried=run.retried,
+        failures=run.failures,
+        degraded=run.degraded,
+        cache_discarded=cache.discarded if cache is not None else 0,
+        notes=run.notes,
     )

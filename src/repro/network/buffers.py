@@ -145,5 +145,28 @@ class PacketQueue:
     def head(self) -> Optional[Packet]:
         return self._q[0] if self._q else None
 
+    # -- validation hook ----------------------------------------------
+    def audit(self) -> None:
+        """Recompute the incremental counters from the queue contents
+        and raise :class:`BufferError` on any drift (invariant-guard
+        hook; O(n), never called on the default fast path)."""
+        actual = sum(p.size for p in self._q)
+        if actual != self.bytes:
+            raise BufferError(
+                f"queue {self.name}: byte counter {self.bytes} != contents {actual}"
+            )
+        if self.dest_bytes is not None:
+            per_dest: dict[int, int] = {}
+            for p in self._q:
+                per_dest[p.dst] = per_dest.get(p.dst, 0) + p.size
+            if per_dest != self.dest_bytes:
+                raise BufferError(
+                    f"queue {self.name}: dest_bytes {self.dest_bytes} != contents {per_dest}"
+                )
+        if self.max_bytes is not None and self.bytes > self.max_bytes:
+            raise BufferError(
+                f"queue {self.name}: {self.bytes}B exceeds cap {self.max_bytes}B"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Q {self.name} n={len(self._q)} {self.bytes}B>"

@@ -393,3 +393,33 @@ class EndNode:
         if isinstance(msg, Becn) and msg.dst == self.id:
             if self.throttle is not None:
                 self.throttle.on_becn(msg.congested_destination)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state dump for watchdog diagnostics: AdVOQ backlog,
+        stage occupancy, and the throttle table."""
+        entry: Dict[str, object] = {
+            "node": self.id,
+            "generated": self.packets_generated,
+            "injected": self.packets_injected,
+            "delivered": self.packets_delivered,
+            "advoq_backlog": {
+                str(d): {"packets": len(q), "bytes": q.bytes}
+                for d, q in enumerate(self.advoqs)
+                if len(q)
+            },
+            "stage_inflight": self._stage_inflight,
+        }
+        if self.stage is not None:
+            entry["stage_pool_used"] = self.stage.pool.used
+            entry["stage_pool_capacity"] = self.stage.pool.capacity
+            entry["stage_queues"] = {
+                q.name: {"packets": len(q), "bytes": q.bytes}
+                for q in self.stage_scheme.queues()
+                if len(q)
+            }
+        if self.throttle is not None:
+            entry["ccti"] = self.throttle.snapshot()
+        return entry

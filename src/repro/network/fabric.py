@@ -26,6 +26,7 @@ from repro.network.routing import RoutingTable
 from repro.network.switch import Switch
 from repro.network.topology import Topology
 from repro.sim.engine import Simulator
+from repro.sim.guard import validation_enabled
 from repro.sim.rng import RngFactory
 
 __all__ = ["Fabric", "build_fabric"]
@@ -46,10 +47,20 @@ class Fabric:
     rngs: RngFactory
     #: generators registered by the traffic layer (kept alive here).
     generators: List[object] = field(default_factory=list)
+    #: invariant guard (see :mod:`repro.sim.guard`); None unless the
+    #: fabric was built with ``validate=True`` / ``REPRO_SIM_VALIDATE``.
+    guard: Optional[object] = None
 
     def run(self, until: float) -> None:
-        """Advance the simulation to time ``until`` (ns)."""
-        self.sim.run(until=until)
+        """Advance the simulation to time ``until`` (ns).
+
+        With a guard attached the run is chunked so conservation
+        invariants are swept between event batches — no events are
+        injected, so results are bit-identical either way."""
+        if self.guard is not None:
+            self.guard.run_guarded(until)
+        else:
+            self.sim.run(until=until)
 
     # ------------------------------------------------------------------
     # aggregate statistics (used by experiments and tests)
@@ -87,6 +98,8 @@ def build_fabric(
     seed: int = 0,
     collector: Optional[Collector] = None,
     sim: Optional[Simulator] = None,
+    validate: Optional[bool] = None,
+    guard_config=None,
 ) -> Fabric:
     """Instantiate a simulated network.
 
@@ -102,6 +115,14 @@ def build_fabric(
         Root seed — identical seeds give identical simulations.
     collector, sim:
         Inject your own metrics collector / engine if needed.
+    validate:
+        Attach the runtime invariant guard (:mod:`repro.sim.guard`).
+        ``None`` (the default) defers to the ``REPRO_SIM_VALIDATE``
+        environment variable; results are bit-identical either way.
+    guard_config:
+        Optional :class:`repro.sim.guard.GuardConfig` tuning the check
+        cadence and watchdog patience (implies nothing unless the
+        guard is enabled).
     """
     spec, params = scheme_params(scheme, params)
     sim = sim if sim is not None else Simulator()
@@ -181,7 +202,7 @@ def build_fabric(
             )
             switch.quantum = params.mtu / fastest
 
-    return Fabric(
+    fabric = Fabric(
         sim=sim,
         topo=topo,
         params=params,
@@ -192,3 +213,8 @@ def build_fabric(
         collector=collector,
         rngs=rngs,
     )
+    if validation_enabled(validate):
+        from repro.sim.guard import FabricGuard
+
+        fabric.guard = FabricGuard(fabric, config=guard_config)
+    return fabric

@@ -71,6 +71,8 @@ class Link:
         "in_flight",
         "bytes_sent",
         "packets_sent",
+        "bytes_received",
+        "packets_received",
     )
 
     def __init__(
@@ -113,6 +115,11 @@ class Link:
         self.in_flight: Optional[Packet] = None
         self.bytes_sent = 0
         self.packets_sent = 0
+        #: delivered-side counters; sent minus received is exactly the
+        #: wire-resident traffic (reserved downstream, not yet arrived),
+        #: which the invariant guard balances against buffer accounting.
+        self.bytes_received = 0
+        self.packets_received = 0
 
     # ------------------------------------------------------------------
     # wiring
@@ -172,6 +179,8 @@ class Link:
 
     def _deliver(self, pkt: Packet) -> None:
         pkt.hops += 1
+        self.bytes_received += pkt.size
+        self.packets_received += 1
         self.rx.receive_packet(pkt, self)
 
     # ------------------------------------------------------------------

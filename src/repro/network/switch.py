@@ -421,3 +421,52 @@ class Switch:
             if isinstance(p.scheme, NfqCfqScheme):
                 total += p.scheme.cam.alloc_failures
         return total
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state dump for watchdog diagnostics: per-port pool
+        occupancy, non-empty queue depths, CAM/CFQ tables, and the
+        congestion state of every output port."""
+        inputs = []
+        for port in self.input_ports:
+            entry: Dict[str, object] = {
+                "name": port.name,
+                "pool_used": port.pool.used,
+                "pool_capacity": port.pool.capacity,
+                "active_rate": port.active_rate,
+                "queues": {
+                    q.name: {"packets": len(q), "bytes": q.bytes}
+                    for q in port.scheme.queues()
+                    if len(q)
+                },
+            }
+            if isinstance(port.scheme, NfqCfqScheme):
+                entry["cam"] = [
+                    {
+                        "dest": ln.dest,
+                        "cfq": ln.cfq_index,
+                        "root": ln.root,
+                        "stopped": ln.stopped,
+                        "stop_sent": ln.stop_sent,
+                        "orphaned": ln.orphaned,
+                        "hot": ln.hot,
+                        "bytes": port.scheme.cfqs[ln.cfq_index].bytes,
+                    }
+                    for ln in port.scheme.cam.lines()
+                ]
+            inputs.append(entry)
+        outputs = []
+        for out in self.output_ports:
+            cur = out.current
+            outputs.append(
+                {
+                    "name": out.name,
+                    "congested": out.congested,
+                    "reading_from": cur[0].name if cur is not None else None,
+                    "link_busy_until": out.link_out.busy_until if out.link_out else None,
+                    "out_cam": {
+                        ln.dest: ("STOP" if ln.stopped else "GO")
+                        for ln in out.out_cam.lines()
+                    },
+                }
+            )
+        return {"switch": self.name, "inputs": inputs, "outputs": outputs}

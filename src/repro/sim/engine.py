@@ -790,6 +790,40 @@ class Simulator:
         for ev in events:
             ev.cancel()
 
+    def queue_snapshot(self) -> dict:
+        """Histogram of pending callbacks: qualname -> queued count.
+
+        A diagnostic for the invariant guard's watchdog dump (what is
+        the simulation waiting on?).  O(pending); never called on the
+        dispatch fast path.  Counts both firings of a chained
+        :meth:`schedule_pair` entry; cancelled tombstones are skipped.
+        """
+        counts: dict = {}
+
+        def _count(fn: Any) -> None:
+            key = getattr(fn, "__qualname__", None) or repr(fn)
+            counts[key] = counts.get(key, 0) + 1
+
+        if self._bucketed:
+            CANC = _CANCELLED
+            buckets = [self._cur, *self._buckets]
+            for bucket in buckets:
+                for e in bucket:
+                    if e[_FN] is not CANC:
+                        _count(e[_FN])
+                        if e[_FN2] is not None:
+                            _count(e[_FN2])
+            for e in self._heap:
+                if e[_FN] is not CANC:
+                    _count(e[_FN])
+                    if e[_FN2] is not None:
+                        _count(e[_FN2])
+        else:
+            for _t, _s, ev in self._heap:
+                if not ev.cancelled:
+                    _count(ev.fn)
+        return counts
+
 
 class PeriodicTask:
     """A repeating callback chain created by :meth:`Simulator.call_every`."""

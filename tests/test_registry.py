@@ -85,13 +85,24 @@ class TestRegistryRun:
 
 
 class TestCliWiring:
-    def test_sweep_choices_come_from_registry(self):
-        from repro.cli import build_parser
+    def test_sweep_choices_come_from_registry(self, capsys):
+        from repro.cli import build_parser, main
 
         args = build_parser().parse_args(["sweep", "fig9"])
         assert args.name == "fig9" and args.command == "sweep"
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep", "fig99"])
+        # unknown names exit 2 with a did-you-mean instead of a traceback
+        assert main(["sweep", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err and "did you mean" in err
+
+    def test_unknown_scheme_did_you_mean(self, capsys):
+        from repro.cli import main
+
+        assert main(["case", "1", "--scheme", "CCFTI"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean CCFIT" in err
+        assert main(["sweep", "fig9", "--schemes", "CCFIT,ITH"]) == 2
+        assert "unknown scheme 'ITH'" in capsys.readouterr().err
 
     def test_engine_options_both_positions(self):
         from repro.cli import build_parser

@@ -1,0 +1,359 @@
+"""Failure injection for the resilient sweep engine.
+
+Crashing jobs, wedged jobs, corrupt cache entries and interrupted
+journals must each degrade into a structured report — never an aborted
+sweep or a silently wrong figure — and every surviving result must be
+bit-identical to a clean serial run (docs/robustness.md).
+
+Tests that bring up real worker pools are marked ``tier2``
+(``pytest -m tier2``); everything else runs in-process.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.resilience import (
+    JobFailure,
+    RetryPolicy,
+    SweepJournal,
+    execute_job,
+)
+from repro.experiments.runner import CaseResult, run_case1
+from repro.experiments.sweep import ResultCache, SimJob, SweepOptions, run_sweep
+
+from tests.test_sweep import assert_results_equal
+
+SCALE = 0.02
+
+#: fast-failing options so retry tests don't sleep for real.
+FAST = dict(backoff=0.001)
+
+
+# ---------------------------------------------------------------------------
+# injected-failure jobs (module level so worker processes can unpickle them)
+# ---------------------------------------------------------------------------
+class FailJob(SimJob):
+    """Raises inside the simulation — the `kind="error"` path."""
+
+    def run(self) -> CaseResult:
+        raise RuntimeError("injected failure")
+
+
+class CrashJob(SimJob):
+    """Kills its worker process outright — the `kind="crash"` path."""
+
+    def run(self) -> CaseResult:
+        os._exit(13)
+
+
+class SlowJob(SimJob):
+    """Wedges its worker — the `kind="timeout"` path."""
+
+    def run(self) -> CaseResult:
+        time.sleep(60)
+        raise AssertionError("a SlowJob must be killed by the timeout")
+
+
+class FlakyJob(SimJob):
+    """Fails the first ``fails`` attempts (counted in a marker file),
+    then succeeds with the real simulation — the retry-recovery path."""
+
+    def run(self) -> CaseResult:
+        knobs = dict(self.extra)
+        marker = knobs["marker"]
+        with open(marker, "a") as fh:
+            fh.write("x")
+        if os.path.getsize(marker) <= int(knobs["fails"]):
+            raise RuntimeError("flaky attempt")
+        return SimJob(
+            case=self.case, scheme=self.scheme,
+            time_scale=self.time_scale, seed=self.seed, params=self.params,
+        ).run()
+
+
+def good_job(scheme="1Q"):
+    return SimJob(case="case1", scheme=scheme, time_scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def small() -> CaseResult:
+    return run_case1("1Q", time_scale=SCALE)
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_exponential_growth(self):
+        p = RetryPolicy(backoff_base=0.25, jitter=0.0)
+        assert p.delay(1) == pytest.approx(0.25)
+        assert p.delay(2) == pytest.approx(0.5)
+        assert p.delay(3) == pytest.approx(1.0)
+
+    def test_cap(self):
+        p = RetryPolicy(backoff_base=0.25, backoff_max=2.0, jitter=0.0)
+        assert p.delay(50) == 2.0
+
+    def test_jitter_is_deterministic_per_key(self):
+        p = RetryPolicy(backoff_base=0.25)
+        key = "f" * 64
+        assert p.delay(1, key) == p.delay(1, key)
+        assert p.delay(1, key) == pytest.approx(0.25 * 1.25)  # max jitter
+        assert p.delay(1, "0" * 64) == pytest.approx(0.25)    # zero jitter
+        assert p.delay(1) == pytest.approx(0.25)              # no key
+
+    def test_options_build_policy(self):
+        opts = SweepOptions(max_retries=5, backoff=0.125)
+        p = opts.retry_policy()
+        assert p.max_retries == 5 and p.backoff_base == 0.125
+
+
+# ---------------------------------------------------------------------------
+# structured worker records
+# ---------------------------------------------------------------------------
+class TestExecuteJob:
+    def test_ok_record(self, small):
+        job = good_job()
+        rec = execute_job(job)
+        assert rec["ok"] is True and rec["key"] == job.key()
+        assert_results_equal(CaseResult.from_dict(rec["result"]), small)
+
+    def test_error_record(self):
+        rec = execute_job(FailJob(case="case1", scheme="1Q"))
+        assert rec["ok"] is False
+        err = rec["error"]
+        assert err["exception"] == "RuntimeError"
+        assert err["message"] == "injected failure"
+        assert "RuntimeError: injected failure" in err["traceback"]
+
+
+# ---------------------------------------------------------------------------
+# serial failure handling
+# ---------------------------------------------------------------------------
+class TestSerialFailures:
+    def test_failed_cell_does_not_abort_the_sweep(self, small):
+        jobs = [FailJob(case="case1", scheme="CCFIT", time_scale=SCALE), good_job()]
+        report = run_sweep(jobs, options=SweepOptions(max_retries=1, **FAST))
+        assert report.failed == 1 and report.ok == 1
+        assert report.results[0] is None
+        assert_results_equal(report.results[1], small)
+        assert "1Q" in report.by_scheme() and "CCFIT" not in report.by_scheme()
+        f = report.failures[0]
+        assert f.kind == "error" and f.exception == "RuntimeError"
+        assert f.attempts == 2 and f.label == "case1/CCFIT"
+        assert report.retried == 1
+        assert "1 FAILED" in report.summary() and "1 retried" in report.summary()
+
+    def test_retry_recovers_a_flaky_cell(self, tmp_path, small):
+        marker = str(tmp_path / "attempts")
+        job = FlakyJob(case="case1", scheme="1Q", time_scale=SCALE,
+                       extra=(("marker", marker), ("fails", "2")))
+        report = run_sweep([job], options=SweepOptions(max_retries=2, **FAST))
+        assert report.failed == 0 and report.retried == 2
+        assert os.path.getsize(marker) == 3  # 2 failures + 1 success
+        assert_results_equal(report.results[0], small)
+
+    def test_zero_retries(self):
+        report = run_sweep(
+            [FailJob(case="case1", scheme="1Q")],
+            options=SweepOptions(max_retries=0, **FAST),
+        )
+        assert report.failed == 1 and report.retried == 0
+        assert report.failures[0].attempts == 1
+
+    def test_manifest_structure(self, tmp_path):
+        jobs = [FailJob(case="case1", scheme="CCFIT", time_scale=SCALE), good_job()]
+        report = run_sweep(jobs, options=SweepOptions(max_retries=0, **FAST))
+        m = report.manifest()
+        assert m["schema"] == 1 and m["cells"] == 2
+        assert m["ok"] == 1 and m["failed"] == 1
+        statuses = {c["label"]: c["status"] for c in m["jobs"]}
+        assert statuses == {"case1/CCFIT": "failed", "case1/1Q": "ok"}
+        assert m["failures"][0]["exception"] == "RuntimeError"
+        out = tmp_path / "deep" / "manifest.json"
+        report.write_manifest(out)
+        assert json.loads(out.read_text())["failed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# cache integrity
+# ---------------------------------------------------------------------------
+class TestCacheIntegrity:
+    def put_one(self, tmp_path, small):
+        cache = ResultCache(tmp_path)
+        key = good_job().key()
+        cache.put(key, small, job=good_job())
+        return cache, key
+
+    def test_digest_mismatch_is_quarantined(self, tmp_path, small):
+        cache, key = self.put_one(tmp_path, small)
+        data = json.loads(cache.path(key).read_text())
+        data["result"]["scheme"] = "CCFIT"  # bit-flip the payload
+        cache.path(key).write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="digest mismatch"):
+            assert cache.get(key) is None
+        assert cache.discarded == 1
+        assert (cache.quarantine_dir / f"{key}.json").exists()
+        assert not cache.path(key).exists()
+
+    def test_truncated_entry_is_quarantined(self, tmp_path, small):
+        cache, key = self.put_one(tmp_path, small)
+        text = cache.path(key).read_text()
+        cache.path(key).write_text(text[: len(text) // 2])
+        with pytest.warns(RuntimeWarning, match="invalid JSON"):
+            assert cache.get(key) is None
+        assert cache.discarded == 1
+
+    def test_wrong_schema_is_quarantined(self, tmp_path, small):
+        cache, key = self.put_one(tmp_path, small)
+        cache.path(key).write_text(json.dumps({"something": "else"}))
+        with pytest.warns(RuntimeWarning, match="unrecognized entry schema"):
+            assert cache.get(key) is None
+
+    def test_legacy_entry_without_digest_still_reads(self, tmp_path, small):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.path(key).write_text(json.dumps({"result": small.to_dict()}))
+        assert_results_equal(cache.get(key), small)
+        assert cache.discarded == 0
+
+    def test_writes_are_atomic(self, tmp_path, small):
+        cache, key = self.put_one(tmp_path, small)
+        # no temp droppings survive a successful put
+        assert [p.name for p in tmp_path.iterdir()] == [f"{key}.json"]
+
+    def test_sweep_recomputes_a_corrupted_cell(self, tmp_path, small):
+        opts = SweepOptions(cache_dir=str(tmp_path))
+        run_sweep([good_job()], options=opts)
+        cache = ResultCache(tmp_path)
+        key = good_job().key()
+        cache.path(key).write_text("{torn write")
+        with pytest.warns(RuntimeWarning, match="discarded"):
+            report = run_sweep([good_job()], options=opts)
+        assert (report.hits, report.misses) == (0, 1)
+        assert report.cache_discarded == 1
+        assert_results_equal(report.results[0], small)
+        # the recomputed entry is valid again
+        assert_results_equal(ResultCache(tmp_path).get(key), small)
+
+
+# ---------------------------------------------------------------------------
+# journal + resume
+# ---------------------------------------------------------------------------
+class TestJournalResume:
+    def test_load_tolerates_truncated_tail(self, tmp_path, small):
+        path = tmp_path / "sweep.jsonl"
+        good = json.dumps({"key": "k1", "ok": True, "result": small.to_dict()})
+        path.write_text(good + "\n" + good[: len(good) // 3])
+        done = SweepJournal(path).load()
+        assert list(done) == ["k1"]
+
+    def test_failure_lines_are_not_replayed(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(path)
+        journal.record_failure(
+            JobFailure(key="k1", label="case1/1Q", kind="error",
+                       exception="RuntimeError", message="boom")
+        )
+        journal.close()
+        assert SweepJournal(path).load() == {}
+
+    def test_resume_skips_journaled_cells_bit_identically(self, tmp_path, small):
+        path = str(tmp_path / "sweep.jsonl")
+        a, b = good_job("1Q"), good_job("FBICM")
+        first = run_sweep([a], options=SweepOptions(journal=path))
+        assert first.misses == 1
+        # the interrupted sweep restarts with a *larger* grid
+        report = run_sweep([a, b], options=SweepOptions(journal=path, resume=True))
+        assert (report.resumed, report.misses) == (1, 1)
+        assert "1 resumed from journal" in report.summary()
+        clean = run_sweep([a, b])
+        for x, y in zip(report.results, clean.results):
+            assert_results_equal(x, y)
+
+    def test_failed_cells_retry_on_resume(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        fail = FailJob(case="case1", scheme="1Q")
+        run_sweep([fail], options=SweepOptions(journal=path, max_retries=0, **FAST))
+        assert len(SweepJournal(path).path.read_text().splitlines()) == 1
+        report = run_sweep(
+            [fail], options=SweepOptions(journal=path, resume=True, max_retries=0, **FAST)
+        )
+        assert report.resumed == 0 and report.failed == 1
+
+
+# ---------------------------------------------------------------------------
+# real worker pools (tier2)
+# ---------------------------------------------------------------------------
+@pytest.mark.tier2
+class TestPoolFailures:
+    def test_worker_crash_is_quarantined_not_fatal(self, small):
+        """A job that kills its worker must not take down the sweep: the
+        poisoned cell is retried in isolation and reported; innocent
+        cells complete with bit-identical results."""
+        jobs = [
+            CrashJob(case="case1", scheme="CCFIT", time_scale=SCALE),
+            good_job("1Q"),
+            good_job("FBICM"),
+        ]
+        report = run_sweep(jobs, options=SweepOptions(jobs=2, max_retries=0, **FAST))
+        assert report.failed == 1
+        f = report.failures[0]
+        assert f.kind == "crash" and f.exception == "WorkerCrash"
+        assert report.results[0] is None
+        clean = run_sweep([jobs[1], jobs[2]])
+        assert_results_equal(report.results[1], clean.results[0])
+        assert_results_equal(report.results[2], clean.results[1])
+
+    def test_timeout_kills_a_wedged_job(self):
+        report = run_sweep(
+            [SlowJob(case="case1", scheme="1Q")],
+            options=SweepOptions(timeout=0.75, max_retries=0, **FAST),
+        )
+        assert report.failed == 1
+        f = report.failures[0]
+        assert f.kind == "timeout" and f.exception == "JobTimeout"
+        assert "0.8 s" in f.message or "0.7 s" in f.message
+
+    def test_parallel_timeout_with_survivors(self, small):
+        jobs = [
+            SlowJob(case="case1", scheme="CCFIT", time_scale=SCALE),
+            good_job("1Q"),
+            good_job("FBICM"),
+        ]
+        report = run_sweep(
+            jobs, options=SweepOptions(jobs=2, timeout=1.5, max_retries=0, **FAST)
+        )
+        assert report.failed == 1 and report.failures[0].kind == "timeout"
+        assert report.results[0] is None
+        assert report.results[1] is not None and report.results[2] is not None
+        assert_results_equal(report.results[1], small)
+
+    def test_injected_failures_report_exactly(self, tmp_path):
+        """The acceptance scenario: crash + timeout + corrupted cache
+        entry in one sweep — exactly the injected failures appear, and
+        the survivors are bit-identical to a clean serial run."""
+        jobs = [
+            CrashJob(case="case1", scheme="CCFIT", time_scale=SCALE),
+            SlowJob(case="case1", scheme="ITh", time_scale=SCALE),
+            good_job("1Q"),
+            good_job("FBICM"),
+        ]
+        opts = SweepOptions(cache_dir=str(tmp_path), jobs=2,
+                            timeout=1.5, max_retries=0, **FAST)
+        # pre-corrupt the cache entry for the first good job
+        run_sweep([jobs[2]], options=SweepOptions(cache_dir=str(tmp_path)))
+        ResultCache(tmp_path).path(jobs[2].key()).write_text("{torn")
+        with pytest.warns(RuntimeWarning, match="discarded"):
+            report = run_sweep(jobs, options=opts)
+        assert report.cache_discarded == 1 and report.hits == 0
+        assert {f.kind for f in report.failures} == {"crash", "timeout"}
+        assert {f.label for f in report.failures} == {"case1/CCFIT", "case1/ITh"}
+        clean = run_sweep([jobs[2], jobs[3]])
+        assert_results_equal(report.results[2], clean.results[0])
+        assert_results_equal(report.results[3], clean.results[1])
+        m = report.manifest()
+        assert m["failed"] == 2 and m["ok"] == 2

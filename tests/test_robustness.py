@@ -6,7 +6,7 @@ comparison utilities are unit-tested separately below.
 
 import pytest
 
-from repro.experiments.robustness import SweepStats, claim_holds, seed_sweep
+from repro.experiments.seedcheck import SweepStats, claim_holds, seed_sweep
 from repro.experiments.runner import run_case1
 from repro.metrics.analysis import jain_index
 

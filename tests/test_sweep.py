@@ -128,7 +128,8 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         cache.put("deadbeef", small)
         cache.path("deadbeef").write_text("{not json")
-        assert cache.get("deadbeef") is None
+        with pytest.warns(RuntimeWarning, match="discarded"):
+            assert cache.get("deadbeef") is None
 
     def test_clear(self, tmp_path, small):
         cache = ResultCache(tmp_path)
