@@ -26,7 +26,14 @@ Quick start::
     print(fabric.collector.flow_bandwidth("F0", 0, 2_000_000), "GB/s")
 """
 
-from repro.core.ccfit import SCHEMES, Scheme
+from repro.core.ccfit import (
+    SCHEMES,
+    Scheme,
+    SchemeSpec,
+    get_scheme,
+    register_scheme,
+    scheme_names,
+)
 from repro.core.params import CCParams, exponential_cct, linear_cct
 from repro.metrics.analysis import jain_index, oscillation_score
 from repro.metrics.collector import Collector
@@ -41,6 +48,10 @@ __version__ = "1.0.0"
 __all__ = [
     "SCHEMES",
     "Scheme",
+    "SchemeSpec",
+    "register_scheme",
+    "get_scheme",
+    "scheme_names",
     "CCParams",
     "linear_cct",
     "exponential_cct",
@@ -57,3 +68,7 @@ __all__ = [
     "attach_traffic",
     "patterns",
 ]
+
+# Bundled non-paper schemes register themselves on import; this runs
+# last so the registry above already holds the paper presets.
+import repro.schemes  # noqa: E402,F401

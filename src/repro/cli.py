@@ -61,7 +61,7 @@ from repro.experiments.report import (
     render_series,
     render_table,
 )
-from repro.experiments.runner import FIG8_SCHEMES, CaseResult
+from repro.experiments.runner import CaseResult
 from repro.experiments.sweep import SweepOptions, SweepReport, default_cache_dir
 from repro.sim.guard import ENV_VALIDATE
 
@@ -297,8 +297,10 @@ def _cmd_table1(args) -> int:
     return 0
 
 
-#: schemes accepted by `case` / `trees` (the figure-8 set plus VOQsw).
-_CASE_SCHEMES = tuple(FIG8_SCHEMES) + ("VOQsw",)
+def _case_schemes() -> tuple:
+    """Schemes accepted by `case` / `trees`: the live registry, so
+    schemes added via ``register_scheme`` are runnable immediately."""
+    return tuple(SCHEMES)
 
 
 def _cmd_fig(args) -> int:
@@ -310,8 +312,8 @@ def _cmd_fig(args) -> int:
 
 
 def _cmd_case(args) -> int:
-    if args.scheme not in _CASE_SCHEMES:
-        return _unknown_name("scheme", args.scheme, _CASE_SCHEMES)
+    if args.scheme not in _case_schemes():
+        return _unknown_name("scheme", args.scheme, _case_schemes())
     exp = registry.get(f"case{args.number}")
     opts = _options(args, cache_by_default=False)
     results, report = exp.run(schemes=(args.scheme,), options=opts)
@@ -323,8 +325,8 @@ def _cmd_case(args) -> int:
 
 
 def _cmd_trees(args) -> int:
-    if args.scheme not in _CASE_SCHEMES:
-        return _unknown_name("scheme", args.scheme, _CASE_SCHEMES)
+    if args.scheme not in _case_schemes():
+        return _unknown_name("scheme", args.scheme, _case_schemes())
     exp = registry.get("case4")
     opts = _options(args, cache_by_default=False)
     results, report = exp.run(schemes=(args.scheme,), options=opts, num_trees=args.count)

@@ -145,6 +145,20 @@ class NfqCfqScheme(QueueScheme):
     # ------------------------------------------------------------------
     # tree-protocol inputs (called by the switch / IA)
     # ------------------------------------------------------------------
+    def on_control_message(self, msg: ControlMessage) -> None:
+        """Hook-API entry point: the host device fans every reverse
+        control message out to its port schemes *after* updating its own
+        announcement record (output CAM / IA ``_announced``), so
+        ``announced_tree`` already reflects the message here."""
+        if isinstance(msg, CfqAlloc):
+            self.on_tree_announced()
+        elif isinstance(msg, CfqStop):
+            self.tree_stopped(msg.destination, True)
+        elif isinstance(msg, CfqGo):
+            self.tree_stopped(msg.destination, False)
+        elif isinstance(msg, CfqDealloc):
+            self.tree_orphaned(msg.destination)
+
     def tree_stopped(self, dest: int, stopped: bool) -> None:
         """Downstream Stop/Go for the tree towards ``dest``."""
         line = self.cam.lookup(dest)
@@ -439,14 +453,49 @@ class NfqCfqScheme(QueueScheme):
         self.cam.free(line)
 
     # ------------------------------------------------------------------
+    # source-side coupling (IA arbiter decision, §III-D)
+    # ------------------------------------------------------------------
+    def holds_destination(self, dest: int) -> bool:
+        """A destination whose stage CFQ is stopped (or at its Stop
+        level) stays in its AdVOQ, so congested packets cannot hog the
+        stage RAM and starve the node's other flows.  Resumed by the
+        Go/dealloc kicks."""
+        line = self.cam.lookup(dest)
+        if line is None or line.orphaned:
+            return False
+        if line.stopped:
+            return True
+        return self.cfqs[line.cfq_index].bytes >= self.host.params.cfq_stop
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def allocated_cfqs(self) -> int:
         return len(self.cam.lines())
 
+    def cam_alloc_failures(self) -> int:
+        return self.cam.alloc_failures
+
     def cfq_occupancy(self, dest: int) -> int:
         line = self.cam.lookup(dest)
         return 0 if line is None else self.cfqs[line.cfq_index].bytes
+
+    def snapshot(self) -> dict:
+        entry = super().snapshot()
+        entry["cam"] = [
+            {
+                "dest": ln.dest,
+                "cfq": ln.cfq_index,
+                "root": ln.root,
+                "stopped": ln.stopped,
+                "stop_sent": ln.stop_sent,
+                "orphaned": ln.orphaned,
+                "hot": ln.hot,
+                "bytes": self.cfqs[ln.cfq_index].bytes,
+            }
+            for ln in self.cam.lines()
+        ]
+        return entry
 
     # -- validation hook -------------------------------------------------
     def audit(self) -> None:

@@ -1,0 +1,162 @@
+"""Device-neutral congestion-control policy objects.
+
+A congestion-control *scheme* (1Q, FBICM, ITh, CCFIT, your own) is a
+composition of four policies, each with a fixed hook surface that the
+device layer calls blindly — no device file knows any concrete scheme
+class (see docs/schemes.md):
+
+* a **queue policy** — how each switch input port organises its RAM.
+  This is the :class:`repro.network.queueing.CongestionControlScheme`
+  object itself (``on_arrival`` / ``eligible_heads`` /
+  ``after_dequeue`` / ``on_control_message`` / ``audit`` /
+  ``snapshot``);
+* a **detection policy** (:class:`DetectionPolicy`) — what evidence
+  moves an output port into the *congestion state*.  The paper's two
+  detectors are VOQ occupancy (ITh, [12]) and root-CFQ occupancy
+  (CCFIT, §III-C); queue-policy factories consume the descriptor and
+  wire the matching threshold machinery;
+* a **marking policy** (:class:`MarkingPolicy`) — ``should_mark``,
+  asked by the switch for every packet crossing an output port.  The
+  paper schemes mark only in the congestion state, subject to the
+  Marking_Rate lottery; rate-based schemes (RCM/DCQCN family) mark on
+  instantaneous queue depth instead;
+* an **injection gate** (:class:`InjectionGate`) — the source-side
+  reaction.  The IA arbiter asks ``next_allowed(dest)`` before moving
+  a packet out of its AdVOQ and reports every move via
+  ``record_injection``; BECNs arrive through ``on_becn``.  The paper's
+  gate is the CCT/CCTI table walker
+  (:class:`repro.core.throttling.ThrottleState`); DCQCN-style gates
+  keep an explicit per-destination rate instead.
+
+:class:`repro.core.ccfit.SchemeSpec` bundles one of each; the fabric
+builder hands them to switches and end nodes without inspecting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.params import CCParams
+from repro.core.throttling import FecnMarker
+from repro.network.packet import Packet
+
+__all__ = [
+    "DetectionPolicy",
+    "DETECT_NONE",
+    "DETECT_VOQ_OCCUPANCY",
+    "DETECT_ROOT_CFQ",
+    "MarkingPolicy",
+    "InjectionGate",
+    "CongestionStateMarking",
+    "congestion_state_marking",
+]
+
+
+# ----------------------------------------------------------------------
+# detection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DetectionPolicy:
+    """What evidence moves an output port into the congestion state.
+
+    ``kind`` is consumed by the queue-policy factories (which own the
+    threshold machinery) and read by cost accounting and docs; devices
+    never branch on it.
+    """
+
+    kind: str
+    description: str = ""
+
+
+#: no congestion-state detection (1Q, VOQsw, DBBM, VOQnet, FBICM).
+DETECT_NONE = DetectionPolicy("none", "never enters the congestion state")
+#: ITh: a VOQ crossing the High/Low occupancy thresholds of [12].
+DETECT_VOQ_OCCUPANCY = DetectionPolicy(
+    "voq-occupancy", "VOQ occupancy High/Low thresholds ([12])"
+)
+#: CCFIT: a *root* CFQ crossing the High/Low thresholds (§III-C).
+DETECT_ROOT_CFQ = DetectionPolicy(
+    "root-cfq", "root CFQ occupancy High/Low thresholds (§III-C)"
+)
+
+
+# ----------------------------------------------------------------------
+# marking
+# ----------------------------------------------------------------------
+@runtime_checkable
+class MarkingPolicy(Protocol):
+    """Switch-resident marking decision, one call per crossing packet."""
+
+    def should_mark(self, pkt: Packet, queue, out_port) -> bool:
+        """Mark ``pkt`` as it crosses ``out_port``?
+
+        ``queue`` is the input queue the packet was just popped from
+        (its remaining ``bytes`` is the standing depth towards this
+        output).  Returning True makes the switch set the FECN bit and
+        bump its ``fecn_marked`` counter.
+        """
+
+
+class CongestionStateMarking:
+    """The paper's marking policy (ITh / CCFIT, §III-B).
+
+    Packets are eligible only while their output port is in the
+    congestion state; eligibility then runs through the
+    Packet_Size floor and Marking_Rate lottery of
+    :class:`repro.core.throttling.FecnMarker`.  The lottery draws from
+    its RNG only for packets crossing a congested port, which keeps the
+    random stream identical to the historical switch-inline check.
+    """
+
+    __slots__ = ("fecn",)
+
+    def __init__(self, params: CCParams, rng: np.random.Generator) -> None:
+        self.fecn = FecnMarker(params, rng)
+
+    def should_mark(self, pkt: Packet, queue, out_port) -> bool:
+        if not out_port.congested:
+            return False
+        return self.fecn.maybe_mark(pkt)
+
+
+def congestion_state_marking(params: CCParams, rng: np.random.Generator) -> CongestionStateMarking:
+    """Factory with the :class:`repro.core.ccfit.SchemeSpec` signature."""
+    return CongestionStateMarking(params, rng)
+
+
+# ----------------------------------------------------------------------
+# injection gate
+# ----------------------------------------------------------------------
+@runtime_checkable
+class InjectionGate(Protocol):
+    """Source-side reaction state owned by one Input Adapter.
+
+    The IA arbiter consults the gate before moving any packet from an
+    AdVOQ towards the network, so one object implements every
+    source-side throttling flavour — table-driven IRDs
+    (:class:`repro.core.throttling.ThrottleState`) or explicit
+    per-destination rates (:class:`repro.schemes.rcm.RcmGate`).
+    """
+
+    #: BECNs absorbed (the ``becns_received`` fabric statistic).
+    becns: int
+
+    def next_allowed(self, dest: int) -> float:
+        """Earliest time the next packet for ``dest`` may leave its
+        AdVOQ (0.0 = immediately)."""
+
+    def record_injection(self, dest: int, now: float, size: int = 0) -> None:
+        """A packet of ``size`` bytes for ``dest`` just left its AdVOQ."""
+
+    def on_becn(self, dest: int) -> None:
+        """A BECN for ``dest`` reached this source."""
+
+    def audit(self) -> None:
+        """Invariant-guard hook: internal state must be self-consistent
+        and every throttled destination must be able to recover."""
+
+    def snapshot(self) -> Dict[int, object]:
+        """JSON-safe per-destination state for watchdog diagnostics."""

@@ -107,8 +107,10 @@ class ThrottleState:
             return 0.0
         return lti + self.ird(dest)
 
-    def record_injection(self, dest: int, now: float) -> None:
-        """Update LTI when the IA moves a packet for ``dest``."""
+    def record_injection(self, dest: int, now: float, size: int = 0) -> None:
+        """Update LTI when the IA moves a packet for ``dest``.  The IRD
+        tables delay per *packet*, so ``size`` is ignored here (rate-
+        based gates use it — see the InjectionGate protocol)."""
         self._lti[dest] = now
 
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ discussion (e.g. VOQnet's 256 KiB ports on the 64-node network).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.ccfit import SCHEMES
 from repro.core.params import CCParams
@@ -42,8 +42,14 @@ class SchemeCost:
         return self.total_memory / (1024 * 1024)
 
 
-def scheme_cost(scheme: str, topo: Topology, params: CCParams = None) -> SchemeCost:  # type: ignore[assignment]
-    """Compute the switch buffer/CAM budget of ``scheme`` on ``topo``."""
+def scheme_cost(
+    scheme: str, topo: Topology, params: Optional[CCParams] = None
+) -> SchemeCost:
+    """Compute the switch buffer/CAM budget of ``scheme`` on ``topo``.
+
+    The budget comes from the spec's ``cost`` hook, so registered
+    schemes (see :func:`repro.core.ccfit.register_scheme`) appear in
+    the table automatically."""
     if scheme not in SCHEMES:
         raise KeyError(f"unknown scheme {scheme!r}")
     params = params if params is not None else CCParams()
@@ -52,18 +58,7 @@ def scheme_cost(scheme: str, topo: Topology, params: CCParams = None) -> SchemeC
     memory = spec.memory_override(params, n)
 
     max_radix = max(s.num_ports for s in topo.switches)
-    if scheme == "1Q":
-        queues, cam, out_cam = 1, 0, 0
-    elif scheme in ("VOQsw", "ITh"):
-        queues, cam, out_cam = min(params.num_voqs, max_radix), 0, 0
-    elif scheme == "DBBM":
-        queues, cam, out_cam = params.num_voqs, 0, 0
-    elif scheme == "VOQnet":
-        queues, cam, out_cam = n, 0, 0
-    else:  # FBICM, CCFIT
-        queues = 1 + params.num_cfqs
-        cam = params.num_cfqs
-        out_cam = params.num_cfqs
+    queues, cam, out_cam = spec.cost(params, n, max_radix)
 
     total_ports = sum(s.num_ports for s in topo.switches)
     return SchemeCost(
@@ -77,7 +72,9 @@ def scheme_cost(scheme: str, topo: Topology, params: CCParams = None) -> SchemeC
     )
 
 
-def cost_table(topo: Topology, params: CCParams = None) -> List[Dict[str, object]]:  # type: ignore[assignment]
+def cost_table(
+    topo: Topology, params: Optional[CCParams] = None
+) -> List[Dict[str, object]]:
     """One row per scheme — the §IV-A memory-cost comparison."""
     rows = []
     for scheme in SCHEMES:

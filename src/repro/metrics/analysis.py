@@ -9,7 +9,7 @@ and the shape tests assert on.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

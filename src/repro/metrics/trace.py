@@ -23,7 +23,7 @@ wraps the relevant methods at attach time).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["TraceEvent", "ProtocolTrace"]
 
@@ -119,13 +119,15 @@ class ProtocolTrace:
 
     @staticmethod
     def _wrap_marker(sw, record: Callable) -> None:
-        # FecnMarker is __slots__-ed; interpose a delegating proxy on
-        # the switch instead of patching the marker itself.
+        # Marking policies may be __slots__-ed; interpose a delegating
+        # proxy on the switch instead of patching the marker itself.
         inner = sw.marker
+        if inner is None:
+            return  # the scheme never marks
 
         class _MarkerProxy:
-            def maybe_mark(self, pkt):
-                marked = inner.maybe_mark(pkt)
+            def should_mark(self, pkt, queue, out_port):
+                marked = inner.should_mark(pkt, queue, out_port)
                 if marked:
                     record("fecn", sw.name, pkt.dst, pkt.flow)
                 return marked
@@ -139,10 +141,17 @@ class ProtocolTrace:
     def _wrap_throttle(node, record: Callable) -> None:
         ts = node.throttle
         orig = ts.on_becn
+        # the CCT gate reports its table index; other gates (e.g. the
+        # rate-based RCM one) describe themselves via their snapshot.
+        ccti = getattr(ts, "ccti", None)
 
         def on_becn(dest):
             orig(dest)
-            record("becn", f"node{node.id}", dest, f"ccti={ts.ccti(dest)}")
+            if ccti is not None:
+                detail = f"ccti={ccti(dest)}"
+            else:
+                detail = f"state={ts.snapshot().get(dest)}"
+            record("becn", f"node{node.id}", dest, detail)
 
         ts.on_becn = on_becn
 

@@ -27,8 +27,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.cam import OutputCamLine
-from repro.core.isolation import NfqCfqScheme
 from repro.core.params import CCParams
+from repro.core.scheme import InjectionGate
 from repro.core.throttling import ThrottleState
 from repro.network.buffers import BufferPool, PacketQueue
 from repro.network.link import Link
@@ -42,7 +42,7 @@ from repro.network.packet import (
     Packet,
     free_packet,
 )
-from repro.network.queueing import OneQScheme, QueueScheme
+from repro.network.queueing import CongestionControlScheme, OneQScheme
 from repro.sim.engine import Simulator
 
 __all__ = ["EndNode", "IaStage"]
@@ -50,6 +50,18 @@ __all__ = ["EndNode", "IaStage"]
 #: staging FIFO depth (bytes) for schemes without IA isolation: just a
 #: link staging register, so the IA itself is never a HoL point.
 FIFO_STAGING_BYTES = 2 * 2048
+
+
+def _default_stage_factory(
+    staging: str,
+) -> Callable[["IaStage"], CongestionControlScheme]:
+    """Stage scheme for nodes built without an explicit factory
+    (back-compat construction outside the fabric builder)."""
+    if staging == "isolation":
+        from repro.core.isolation import NfqCfqScheme
+
+        return lambda stage: NfqCfqScheme(stage, drive_congestion_state=False)
+    return OneQScheme
 
 
 class IaStage:
@@ -109,9 +121,19 @@ class EndNode:
     staging:
         ``"isolation"`` (NFQ+CFQs, FBICM/CCFIT), ``"fifo"`` (two-MTU
         FIFO, 1Q/VOQsw/ITh) or ``"bypass"`` (inject from AdVOQs,
-        VOQnet).
+        VOQnet).  Decides the stage RAM size and whether a stage
+        exists at all.
     throttling:
-        Install the CCT/CCTI source reaction (ITh/CCFIT).
+        Install the paper's CCT/CCTI source reaction (shorthand for
+        ``gate_factory=ThrottleState`` — ITh/CCFIT).
+    stage_factory:
+        ``f(stage) -> CongestionControlScheme`` building the output
+        stage's queue scheme (the spec's ``ia_scheme``); None falls
+        back to the staging mode's default.
+    gate_factory:
+        ``f(sim, params, on_release) -> InjectionGate`` building the
+        source-side gate (the spec's ``injection_gate``); overrides
+        ``throttling`` when given.
     on_delivery:
         Callback ``f(pkt, now)`` for the metrics collector.
     """
@@ -124,6 +146,10 @@ class EndNode:
         params: CCParams,
         staging: str = "fifo",
         throttling: bool = False,
+        stage_factory: Optional[
+            Callable[["IaStage"], CongestionControlScheme]
+        ] = None,
+        gate_factory: Optional[Callable[..., InjectionGate]] = None,
         on_delivery: Optional[Callable[[Packet, float], None]] = None,
     ) -> None:
         if staging not in ("isolation", "fifo", "bypass"):
@@ -147,16 +173,20 @@ class EndNode:
         self._active_dests: set = set()
 
         self.stage: Optional[IaStage] = None
-        self.stage_scheme: Optional[QueueScheme] = None
+        self.stage_scheme: Optional[CongestionControlScheme] = None
         if staging == "isolation":
             self.stage = IaStage(self, params.ia_memory_size)
-            self.stage_scheme = NfqCfqScheme(self.stage, drive_congestion_state=False)
         elif staging == "fifo":
             self.stage = IaStage(self, FIFO_STAGING_BYTES)
-            self.stage_scheme = OneQScheme(self.stage)
+        if self.stage is not None:
+            if stage_factory is None:
+                stage_factory = _default_stage_factory(staging)
+            self.stage_scheme = stage_factory(self.stage)
 
-        self.throttle: Optional[ThrottleState] = None
-        if throttling:
+        self.throttle: Optional[InjectionGate] = None
+        if gate_factory is not None:
+            self.throttle = gate_factory(sim, params, self.pump)
+        elif throttling:
             self.throttle = ThrottleState(sim, params, on_release=self.pump)
 
         self._announced: Dict[int, OutputCamLine] = {}
@@ -234,13 +264,13 @@ class EndNode:
                         if earliest_blocked is None or allowed < earliest_blocked:
                             earliest_blocked = allowed
                         continue
-                if self._dest_held_by_cam(dest):
-                    # §III-D: the arbiter decision consults the CAM —
-                    # a destination whose stage CFQ is stopped (or at
-                    # its Stop level) stays in its AdVOQ, so congested
-                    # packets cannot hog the stage RAM and starve the
-                    # node's other flows.  Resumed by the Go/dealloc
-                    # kicks.
+                if self.stage_scheme.holds_destination(dest):
+                    # §III-D: the arbiter decision consults the staging
+                    # scheme (the CAM, for FBICM/CCFIT) — a destination
+                    # whose stage CFQ is stopped (or at its Stop level)
+                    # stays in its AdVOQ, so congested packets cannot
+                    # hog the stage RAM and starve the node's other
+                    # flows.  Resumed by the Go/dealloc kicks.
                     continue
                 if self.stage.pool.free < pkt.size:
                     # Shared stage RAM full: nothing else fits either.
@@ -251,22 +281,11 @@ class EndNode:
                     self._active_dests.discard(dest)
                 self.stage.pool.reserve(pkt.size)
                 if self.throttle is not None:
-                    self.throttle.record_injection(dest, now)
+                    self.throttle.record_injection(dest, now, pkt.size)
                 self.stage_scheme.on_arrival(pkt)
                 self._pump_ptr = (dest + 1) % self.num_nodes
                 progressed = True
         self._schedule_pump(earliest_blocked)
-
-    def _dest_held_by_cam(self, dest: int) -> bool:
-        scheme = self.stage_scheme
-        if not isinstance(scheme, NfqCfqScheme):
-            return False
-        line = scheme.cam.lookup(dest)
-        if line is None or line.orphaned:
-            return False
-        if line.stopped:
-            return True
-        return scheme.cfqs[line.cfq_index].bytes >= self.params.cfq_stop
 
     def _schedule_pump(self, at: Optional[float]) -> None:
         if at is None:
@@ -344,29 +363,24 @@ class EndNode:
         self.kick_injection()
 
     def receive_reverse_control(self, msg: ControlMessage, link: Link) -> None:
-        """Congestion-tree protocol announced by the first switch."""
-        scheme = self.stage_scheme if isinstance(self.stage_scheme, NfqCfqScheme) else None
+        """Congestion-tree protocol announced by the first switch:
+        update the IA's announcement record, then hand the message to
+        the stage scheme's ``on_control_message`` hook."""
         if isinstance(msg, CfqAlloc):
             if msg.destination not in self._announced:
                 self._announced[msg.destination] = OutputCamLine(msg.destination)
-            if scheme is not None:
-                scheme.on_tree_announced()
         elif isinstance(msg, CfqStop):
             rec = self._announced.get(msg.destination)
             if rec is not None:
                 rec.stopped = True
-            if scheme is not None:
-                scheme.tree_stopped(msg.destination, True)
         elif isinstance(msg, CfqGo):
             rec = self._announced.get(msg.destination)
             if rec is not None:
                 rec.stopped = False
-            if scheme is not None:
-                scheme.tree_stopped(msg.destination, False)
         elif isinstance(msg, CfqDealloc):
             self._announced.pop(msg.destination, None)
-            if scheme is not None:
-                scheme.tree_orphaned(msg.destination)
+        if self.stage_scheme is not None:
+            self.stage_scheme.on_control_message(msg)
 
     # ------------------------------------------------------------------
     # downlink receiver endpoint (the sink)
@@ -415,11 +429,7 @@ class EndNode:
         if self.stage is not None:
             entry["stage_pool_used"] = self.stage.pool.used
             entry["stage_pool_capacity"] = self.stage.pool.capacity
-            entry["stage_queues"] = {
-                q.name: {"packets": len(q), "bytes": q.bytes}
-                for q in self.stage_scheme.queues()
-                if len(q)
-            }
+            entry["stage_queues"] = self.stage_scheme.snapshot()["queues"]
         if self.throttle is not None:
             entry["ccti"] = self.throttle.snapshot()
         return entry

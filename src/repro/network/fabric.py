@@ -139,7 +139,8 @@ def build_fabric(
             topo.num_nodes,
             params,
             staging=spec.ia_staging,
-            throttling=spec.throttling,
+            stage_factory=spec.ia_scheme,
+            gate_factory=spec.injection_gate,
             on_delivery=collector.record_delivery,
         )
         for nid in range(topo.num_nodes)
@@ -154,8 +155,11 @@ def build_fabric(
             routing=RoutingTable.from_topology(topo, s.id),
             params=switch_params,
             scheme_factory=lambda port, _n=num_nodes: spec.switch_scheme(port, _n),
-            marking=spec.marking,
-            rng=rngs.stream(f"mark.sw{s.id}"),
+            marker=(
+                spec.marking(switch_params, rngs.stream(f"mark.sw{s.id}"))
+                if spec.marking is not None
+                else None
+            ),
             crossbar_bw=topo.effective_crossbar_bw(),
         )
         for s in topo.switches

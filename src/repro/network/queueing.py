@@ -27,13 +27,20 @@ implements.
 
 from __future__ import annotations
 
-from typing import List, Protocol, Tuple
+from typing import Dict, List, Protocol, Tuple
 
 from repro.core.params import CCParams
 from repro.network.buffers import BufferPool, PacketQueue
-from repro.network.packet import Packet
+from repro.network.packet import ControlMessage, Packet
 
-__all__ = ["PortHost", "QueueScheme", "OneQScheme", "VOQswScheme", "VOQnetScheme"]
+__all__ = [
+    "PortHost",
+    "CongestionControlScheme",
+    "QueueScheme",
+    "OneQScheme",
+    "VOQswScheme",
+    "VOQnetScheme",
+]
 
 
 class PortHost(Protocol):
@@ -53,8 +60,27 @@ class PortHost(Protocol):
         """Report a queue crossing the ITh High/Low thresholds."""
 
 
-class QueueScheme:
-    """Base class — a list of queues plus the three policy hooks.
+class CongestionControlScheme:
+    """The queue-policy half of a congestion-control scheme.
+
+    One instance owns the RAM of one switch input port (or one IA
+    output stage) and answers every scheme-specific question its host
+    device has, so the device layer never branches on a concrete
+    scheme class:
+
+    * **data path** — :meth:`on_arrival`, :meth:`eligible_heads`,
+      :meth:`after_dequeue`, :meth:`can_accept_extra` /
+      :meth:`reserve_extra`;
+    * **control path** — :meth:`on_control_message` receives every
+      tree-protocol message the device sees (CfqAlloc/Stop/Go/Dealloc);
+      schemes without a tree protocol inherit the no-op;
+    * **source-side coupling** — :meth:`holds_destination` tells the IA
+      arbiter whether this staging scheme is itself holding packets for
+      a destination back (FBICM/CCFIT Stop or a full staging CFQ);
+    * **introspection** — :meth:`allocated_cfqs` /
+      :meth:`cam_alloc_failures` feed the fabric statistics,
+      :meth:`snapshot` the watchdog dumps, and :meth:`audit` the
+      PR-3 invariant guard.
 
     ``eligible_heads`` results are cached: the arbitration loop asks
     for them far more often than the queues change (profiling showed
@@ -99,6 +125,20 @@ class QueueScheme:
     def reserve_extra(self, pkt: Packet) -> None:
         pass
 
+    # -- control path ------------------------------------------------------
+    def on_control_message(self, msg: ControlMessage) -> None:
+        """A tree-protocol message reached the host device.  Schemes
+        without a congestion-tree protocol ignore it (the device fans
+        every message out to every port's scheme)."""
+
+    # -- source-side coupling ----------------------------------------------
+    def holds_destination(self, dest: int) -> bool:
+        """Is this (staging) scheme itself holding ``dest`` back?  The
+        IA arbiter skips AdVOQs whose destination the staging scheme
+        cannot currently absorb.  Schemes without per-destination
+        back-pressure never hold anything."""
+        return False
+
     # -- introspection -----------------------------------------------------
     def queues(self) -> List[PacketQueue]:
         return self._queues
@@ -108,6 +148,37 @@ class QueueScheme:
 
     def total_bytes(self) -> int:
         return sum(q.bytes for q in self._queues)
+
+    def allocated_cfqs(self) -> int:
+        """Congested-flow queues currently allocated (0 for schemes
+        without dynamic isolation queues)."""
+        return 0
+
+    def cam_alloc_failures(self) -> int:
+        """Times an isolation allocation failed for lack of CAM lines
+        (the Fig. 8 scalability metric; 0 without a CAM)."""
+        return 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state dump for the watchdog (non-empty queues)."""
+        return {
+            "queues": {
+                q.name: {"packets": len(q), "bytes": q.bytes}
+                for q in self.queues()
+                if len(q)
+            }
+        }
+
+    # -- validation hook ---------------------------------------------------
+    def audit(self) -> None:
+        """Invariant-guard hook: per-queue counter integrity.  Schemes
+        with richer state (CAMs, CFQ ownership) extend this."""
+        for q in self._queues:
+            q.audit()
+
+
+#: Back-compat alias — the base class predates the hook-API refactor.
+QueueScheme = CongestionControlScheme
 
 
 class OneQScheme(QueueScheme):

@@ -32,12 +32,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.cam import OutputCam, OutputCamLine
-from repro.core.isolation import NfqCfqScheme
 from repro.core.params import CCParams
-from repro.core.throttling import FecnMarker
+from repro.core.scheme import MarkingPolicy
 from repro.network.arbiter import ISlip
 from repro.network.buffers import BufferPool
 from repro.network.link import Link
@@ -50,7 +47,7 @@ from repro.network.packet import (
     ControlMessage,
     Packet,
 )
-from repro.network.queueing import QueueScheme
+from repro.network.queueing import CongestionControlScheme
 from repro.network.routing import RoutingTable
 from repro.sim.engine import Simulator
 
@@ -72,7 +69,7 @@ class InputPort:
         self.name = f"{switch.name}.in{index}"
         self.params = switch.params
         self.pool = BufferPool(switch.params.memory_size)
-        self.scheme: QueueScheme = None  # type: ignore[assignment]  # set by Switch
+        self.scheme: CongestionControlScheme = None  # type: ignore[assignment]  # set by Switch
         self.link_in: Optional[Link] = None
         #: aggregate bandwidth (bytes/ns) of in-progress crossbar reads;
         #: bounded by the switch crossbar bandwidth, so a 2x crossbar
@@ -194,11 +191,12 @@ class Switch:
     params:
         CC parameters (thresholds, CFQ counts, marking).
     scheme_factory:
-        ``f(input_port) -> QueueScheme`` building each port's queues.
-    marking:
-        FECN-mark packets crossing congested output ports (ITh/CCFIT).
-    rng:
-        Random stream for the Marking_Rate lottery.
+        ``f(input_port) -> CongestionControlScheme`` building each
+        port's queues.
+    marker:
+        The scheme's :class:`repro.core.scheme.MarkingPolicy`, asked
+        for every packet crossing an output port; None disables
+        marking entirely (1Q/VOQsw/DBBM/VOQnet/FBICM).
     crossbar_bw:
         Crossbar bandwidth in bytes/ns (Table I: 5 GB/s on Config #1,
         2.5 GB/s on the fat trees).  An input port is busy reading a
@@ -216,9 +214,8 @@ class Switch:
         num_ports: int,
         routing: RoutingTable,
         params: CCParams,
-        scheme_factory: Callable[[InputPort], QueueScheme],
-        marking: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        scheme_factory: Callable[[InputPort], CongestionControlScheme],
+        marker: Optional[MarkingPolicy] = None,
         crossbar_bw: Optional[float] = None,
     ) -> None:
         self.sim = sim
@@ -226,9 +223,8 @@ class Switch:
         self.num_ports = num_ports
         self.routing = routing
         self.params = params
-        self.marking = marking
         self.crossbar_bw = crossbar_bw
-        self.marker = FecnMarker(params, rng if rng is not None else np.random.default_rng(0))
+        self.marker = marker
         self.input_ports = [InputPort(self, i) for i in range(num_ports)]
         self.output_ports = [OutputPort(self, i) for i in range(num_ports)]
         for port in self.input_ports:
@@ -244,6 +240,11 @@ class Switch:
         self._min_link_bw: Optional[float] = None
         self.packets_forwarded = 0
         self.fecn_marked = 0
+
+    @property
+    def marking(self) -> bool:
+        """Does this switch run a marking policy? (diagnostics)"""
+        return self.marker is not None
 
     # ------------------------------------------------------------------
     # matching
@@ -332,9 +333,10 @@ class Switch:
         rate = out_port.link_out.bandwidth
         port.active_rate += rate
         out_port.current = (port, pkt, rate)
-        if self.marking and out_port.congested:
-            if self.marker.maybe_mark(pkt):
-                self.fecn_marked += 1
+        marker = self.marker
+        if marker is not None and marker.should_mark(pkt, queue, out_port):
+            pkt.fecn = True
+            self.fecn_marked += 1
         out_port.link_out.send(pkt)
         self.packets_forwarded += 1
         port.scheme.after_dequeue(queue)
@@ -358,37 +360,26 @@ class Switch:
     # congestion-tree protocol (reverse control from downstream)
     # ------------------------------------------------------------------
     def on_tree_message(self, out_port: OutputPort, msg: ControlMessage) -> None:
+        """Update this switch's output CAM, then fan the message out to
+        every input-port scheme (``on_control_message`` hook) — schemes
+        without a tree protocol inherit the no-op."""
         if isinstance(msg, CfqAlloc):
             out_port.out_cam.allocate(msg.destination)
-            for port in self.input_ports:
-                scheme = port.scheme
-                if isinstance(scheme, NfqCfqScheme):
-                    scheme.on_tree_announced()
         elif isinstance(msg, CfqStop):
             line = out_port.out_cam.lookup(msg.destination)
             if line is not None:
                 line.stopped = True
-            self._fanout_stop(msg.destination, True)
         elif isinstance(msg, CfqGo):
             line = out_port.out_cam.lookup(msg.destination)
             if line is not None:
                 line.stopped = False
-            self._fanout_stop(msg.destination, False)
         elif isinstance(msg, CfqDealloc):
             if out_port.out_cam.lookup(msg.destination) is not None:
                 out_port.out_cam.free(msg.destination)
-            for port in self.input_ports:
-                scheme = port.scheme
-                if isinstance(scheme, NfqCfqScheme):
-                    scheme.tree_orphaned(msg.destination)
         else:  # pragma: no cover - unknown control is a wiring bug
             raise TypeError(f"unexpected reverse control {msg!r}")
-
-    def _fanout_stop(self, dest: int, stopped: bool) -> None:
         for port in self.input_ports:
-            scheme = port.scheme
-            if isinstance(scheme, NfqCfqScheme):
-                scheme.tree_stopped(dest, stopped)
+            port.scheme.on_control_message(msg)
 
     # ------------------------------------------------------------------
     # control-plane forwarding (BECNs travelling to their destination)
@@ -409,18 +400,10 @@ class Switch:
         return sum(p.pool.used for p in self.input_ports)
 
     def allocated_cfqs(self) -> int:
-        total = 0
-        for p in self.input_ports:
-            if isinstance(p.scheme, NfqCfqScheme):
-                total += p.scheme.allocated_cfqs()
-        return total
+        return sum(p.scheme.allocated_cfqs() for p in self.input_ports)
 
     def cam_alloc_failures(self) -> int:
-        total = 0
-        for p in self.input_ports:
-            if isinstance(p.scheme, NfqCfqScheme):
-                total += p.scheme.cam.alloc_failures
-        return total
+        return sum(p.scheme.cam_alloc_failures() for p in self.input_ports)
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-safe state dump for watchdog diagnostics: per-port pool
@@ -433,26 +416,8 @@ class Switch:
                 "pool_used": port.pool.used,
                 "pool_capacity": port.pool.capacity,
                 "active_rate": port.active_rate,
-                "queues": {
-                    q.name: {"packets": len(q), "bytes": q.bytes}
-                    for q in port.scheme.queues()
-                    if len(q)
-                },
             }
-            if isinstance(port.scheme, NfqCfqScheme):
-                entry["cam"] = [
-                    {
-                        "dest": ln.dest,
-                        "cfq": ln.cfq_index,
-                        "root": ln.root,
-                        "stopped": ln.stopped,
-                        "stop_sent": ln.stop_sent,
-                        "orphaned": ln.orphaned,
-                        "hot": ln.hot,
-                        "bytes": port.scheme.cfqs[ln.cfq_index].bytes,
-                    }
-                    for ln in port.scheme.cam.lines()
-                ]
+            entry.update(port.scheme.snapshot())
             inputs.append(entry)
         outputs = []
         for out in self.output_ports:

@@ -66,6 +66,12 @@ class Topology:
     #: switch crossbar bandwidth (bytes/ns); None = fastest attached
     #: link (Table I: 5 GB/s on Config #1, 2.5 GB/s on the fat trees).
     crossbar_bw: Optional[float] = None
+    #: lazily built (switch, port) -> endpoint index backing
+    #: :meth:`neighbor` (the 4-ary 3-tree has 256 cables; `path()`
+    #: used to re-scan all of them per hop).
+    _port_index: Optional[Dict[Tuple[int, int], Tuple[str, int, int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def effective_crossbar_bw(self) -> float:
         """Resolve :attr:`crossbar_bw`, defaulting to the fastest link."""
@@ -84,17 +90,31 @@ class Topology:
         """What hangs off ``(switch_id, port)``.
 
         Returns ``("node", node_id, 0)``, ``("switch", other_id,
-        other_port)`` or ``None`` for an unused port.
+        other_port)`` or ``None`` for an unused port.  Backed by a
+        prebuilt port index (O(1) per lookup); call
+        :meth:`invalidate_port_index` after editing ``node_attach`` or
+        ``switch_links`` in place.
         """
+        index = self._port_index
+        if index is None:
+            index = self._port_index = self._build_port_index()
+        return index.get((switch_id, port))
+
+    def _build_port_index(self) -> Dict[Tuple[int, int], Tuple[str, int, int]]:
+        index: Dict[Tuple[int, int], Tuple[str, int, int]] = {}
+        for a, pa, b, pb, _bw in reversed(self.switch_links):
+            index[(a, pa)] = ("switch", b, pb)
+            index[(b, pb)] = ("switch", a, pa)
+        # node attachments win over cables on a (bogus) shared port,
+        # matching the historical scan order; validate() rejects such
+        # topologies anyway.
         for nid, (sw, p, _bw) in self.node_attach.items():
-            if sw == switch_id and p == port:
-                return ("node", nid, 0)
-        for a, pa, b, pb, _bw in self.switch_links:
-            if a == switch_id and pa == port:
-                return ("switch", b, pb)
-            if b == switch_id and pb == port:
-                return ("switch", a, pa)
-        return None
+            index[(sw, p)] = ("node", nid, 0)
+        return index
+
+    def invalidate_port_index(self) -> None:
+        """Drop the cached port index (after in-place wiring edits)."""
+        self._port_index = None
 
     def path(self, src: int, dst: int) -> List[Tuple[int, int]]:
         """Follow the routing tables from ``src`` to ``dst``.

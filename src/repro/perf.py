@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 import sys
 import time
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 from repro.sim.engine import KERNELS, Simulator
 

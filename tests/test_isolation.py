@@ -5,7 +5,6 @@ propagation, Stop/Go, deallocation, congestion state) can be observed
 in isolation from the switch.
 """
 
-import pytest
 
 from repro.core.cam import OutputCamLine
 from repro.core.isolation import NfqCfqScheme

@@ -47,6 +47,28 @@ def test_bfs_paths_are_shortest():
             assert len(bfs.path(src, dst)) == len(det.path(src, dst))
 
 
+@pytest.mark.parametrize("k,n", [(2, 3), (4, 3)])
+def test_bfs_vs_det_differential(k, n):
+    """Differential baseline: the shipped DET tables and freshly built
+    BFS tables must both deliver every src→dst pair on the same tree.
+    Paths may differ (different tie-breaks pick different upward
+    links), but delivery and hop count must not — both routings are
+    minimal in a fat tree."""
+    det = k_ary_n_tree(k, n)
+    bfs = k_ary_n_tree(k, n)
+    bfs.routes = build_routing(bfs)
+    num_nodes = k**n
+    max_hops = 2 * n  # up to the roots and back down, in switch hops
+    for src in range(num_nodes):
+        for dst in range(num_nodes):
+            if src == dst:
+                continue
+            det_path = det.path(src, dst)
+            bfs_path = bfs.path(src, dst)
+            assert len(det_path) == len(bfs_path)
+            assert 1 <= len(det_path) <= max_hops
+
+
 def test_bfs_is_deterministic():
     a = build_routing(k_ary_n_tree(2, 3))
     b = build_routing(k_ary_n_tree(2, 3))

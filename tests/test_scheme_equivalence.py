@@ -1,0 +1,59 @@
+"""Golden equivalence: the pluggable-scheme refactor must be invisible.
+
+``tests/golden/scheme_equivalence.json`` pins the canonical JSON (and
+its SHA-256) of every ``CaseResult`` produced by the paper schemes
+*before* the hook-based scheme architecture landed (commit ``a480e9c``).
+These tests recompute each cell on both engine kernels and require
+byte-identical output — any behavioural drift in the refactored
+switch/end-node/fabric path fails loudly, with the full dict diff.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_case
+from repro.sim.engine import Simulator
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scheme_equivalence.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+META = GOLDEN["_meta"]
+
+
+def _canonical(res) -> str:
+    return json.dumps(res.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("kernel", META["kernels"])
+@pytest.mark.parametrize("cell", sorted(GOLDEN["cells"]))
+def test_cell_matches_golden(cell, kernel):
+    case, scheme = cell.split("/")
+    res = run_case(
+        case,
+        scheme=scheme,
+        time_scale=META["grid"][case],
+        seed=META["seed"],
+        sim_factory=lambda: Simulator(kernel=kernel),
+    )
+    gold = GOLDEN["cells"][cell]
+    # dict comparison first: on drift, pytest shows *which* field moved.
+    assert res.to_dict() == gold["result"], f"{cell} drifted on {kernel}"
+    blob = _canonical(res)
+    digest = hashlib.sha256(blob.encode()).hexdigest()
+    assert digest == gold["sha256"], f"{cell} canonical JSON differs on {kernel}"
+
+
+def test_golden_file_covers_declared_grid():
+    """The golden file itself is consistent: one cell per declared
+    (case, scheme) pair, each with a digest matching its own result."""
+    expected = {
+        f"{case}/{scheme}"
+        for case in META["grid"]
+        for scheme in META["schemes"]
+    }
+    assert set(GOLDEN["cells"]) == expected
+    for cell, payload in GOLDEN["cells"].items():
+        blob = json.dumps(payload["result"], sort_keys=True)
+        assert hashlib.sha256(blob.encode()).hexdigest() == payload["sha256"], cell

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.params import CCParams
 from repro.network.fabric import build_fabric
-from repro.network.packet import Becn, Packet
+from repro.network.packet import Becn
 from repro.network.topology import config1_adhoc, k_ary_n_tree
 from repro.traffic.flows import FlowSpec, attach_traffic
 

@@ -1,7 +1,6 @@
 """Unit tests for FECN marking and the source throttling state."""
 
 import numpy as np
-import pytest
 
 from repro.core.params import CCParams, linear_cct
 from repro.core.throttling import FecnMarker, ThrottleState
