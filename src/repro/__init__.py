@@ -40,6 +40,7 @@ from repro.metrics.collector import Collector
 from repro.network.fabric import Fabric, build_fabric
 from repro.network.topology import Topology, config1_adhoc, k_ary_n_tree
 from repro.sim.engine import Simulator
+from repro.telemetry import TelemetryConfig, TelemetrySampler, TreeTracker
 from repro.traffic.flows import FlowSpec, attach_traffic
 from repro.traffic import patterns
 
@@ -64,6 +65,9 @@ __all__ = [
     "config1_adhoc",
     "k_ary_n_tree",
     "Simulator",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "TreeTracker",
     "FlowSpec",
     "attach_traffic",
     "patterns",

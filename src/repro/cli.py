@@ -21,6 +21,13 @@ Commands
     and write ``BENCH_engine.json``.  ``--quick`` runs a CI-sized
     smoke; ``--cprofile`` adds a cProfile top-N listing.  See
     docs/performance.md.
+``telemetry NAME --scheme CCFIT --out DIR``
+    Run one experiment cell with the telemetry sampler attached and
+    render the bundle (JSONL / Prometheus text / SVG dashboard — pick
+    with ``--format``).  Every simulation command also accepts
+    ``--telemetry`` / ``--telemetry-interval NS`` to attach sampling
+    without changing results (bundles ride on the cached results).
+    See docs/telemetry.md.
 
 Common options: ``--scale`` (time compression, default 0.3),
 ``--seed``, ``--csv PATH`` (dump the throughput series),
@@ -47,6 +54,7 @@ from __future__ import annotations
 import argparse
 import difflib
 import os
+import re
 import sys
 from typing import Dict, Iterable, Optional
 
@@ -104,10 +112,28 @@ def _add_engine_options(p: argparse.ArgumentParser, suppress: bool = False) -> N
     p.add_argument("--validate", action="store_true", default=d(False),
                    help="run simulations under the runtime invariant guard "
                         "(sets REPRO_SIM_VALIDATE=1 so workers inherit it)")
+    p.add_argument("--telemetry", action="store_true", default=d(False),
+                   help="attach the telemetry sampler to every simulation "
+                        "(results stay byte-identical; bundles ride on the results)")
+    p.add_argument("--telemetry-interval", type=float, default=d(100_000.0),
+                   metavar="NS", help="telemetry sampling period in ns (default 100000)")
+
+
+class _Parser(argparse.ArgumentParser):
+    """Argparse with the repo's did-you-mean treatment for a typo'd
+    subcommand: same hint + exit-2 contract as unknown experiment and
+    scheme names (:func:`_unknown_name`), instead of the stock
+    usage-dump error."""
+
+    def error(self, message: str) -> "NoReturn":  # noqa: F821 - argparse idiom
+        m = re.search(r"argument command: invalid choice: '([^']+)'", message)
+        if m:
+            raise SystemExit(_unknown_name("command", m.group(1), _COMMANDS))
+        super().error(message)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
+    p = _Parser(
         prog="repro",
         description="CCFIT (ICPP 2011) reproduction — regenerate the paper's evaluation",
     )
@@ -170,7 +196,26 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--cprofile", action="store_true",
                       help="also run one case under cProfile and print the top functions")
 
-    for sp in (fig, case, trees, sweep, perf):
+    tele = sub.add_parser(
+        "telemetry",
+        help="run one experiment cell with the sampler attached and render the bundle",
+        description="Run a single (experiment, scheme) cell with telemetry "
+                    "enabled and export the bundle: fsync'd JSONL samples, "
+                    "Prometheus text exposition and/or a self-contained SVG "
+                    "dashboard (see docs/telemetry.md).",
+    )
+    tele.add_argument("name", metavar="NAME",
+                      help="experiment to instrument (see `repro sweep --list`)")
+    tele.add_argument("--scheme", default="CCFIT", metavar="NAME",
+                      help="congestion-management scheme (default CCFIT)")
+    tele.add_argument("--out", default="telemetry-out", metavar="DIR",
+                      help="output directory for the rendered bundle (default ./telemetry-out)")
+    tele.add_argument("--format", default="all", dest="tele_format", metavar="FMT",
+                      help="export format: jsonl | prom | html | all (default all)")
+    tele.add_argument("--interval", type=float, default=100_000.0, metavar="NS",
+                      help="sampling period in ns (default 100000)")
+
+    for sp in (fig, case, trees, sweep, perf, tele):
         _add_engine_options(sp, suppress=True)
     return p
 
@@ -198,6 +243,11 @@ def _options(args: argparse.Namespace, *, cache_by_default: bool) -> SweepOption
     if args.resume and not args.journal:
         print("repro: --resume requires --journal PATH", file=sys.stderr)
         raise SystemExit(2)
+    telemetry = None
+    if getattr(args, "telemetry", False):
+        from repro.telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig(interval=args.telemetry_interval)
     return SweepOptions(
         time_scale=args.scale,
         seed=args.seed,
@@ -208,6 +258,7 @@ def _options(args: argparse.Namespace, *, cache_by_default: bool) -> SweepOption
         max_retries=max(0, args.retries),
         journal=args.journal,
         resume=args.resume,
+        telemetry=telemetry,
     )
 
 
@@ -404,6 +455,45 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry import TELEMETRY_FORMATS, TelemetryConfig, write_bundle
+
+    if args.name not in registry.names():
+        return _unknown_name("experiment", args.name, registry.names())
+    if args.scheme not in _case_schemes():
+        return _unknown_name("scheme", args.scheme, _case_schemes())
+    if args.tele_format not in TELEMETRY_FORMATS:
+        return _unknown_name("telemetry format", args.tele_format, TELEMETRY_FORMATS)
+    exp = registry.get(args.name)
+    import dataclasses
+
+    opts = dataclasses.replace(
+        _options(args, cache_by_default=False),
+        telemetry=TelemetryConfig(interval=args.interval),
+    )
+    results, report = exp.run(schemes=(args.scheme,), options=opts)
+    rc = _report_engine(report, opts, args)
+    res = results.get(args.scheme)
+    if res is None or res.telemetry is None:
+        print("telemetry: no bundle produced (cell failed?)", file=sys.stderr)
+        return rc or 1
+    bundle = res.telemetry
+    written = write_bundle(
+        bundle, args.out, fmt=args.tele_format,
+        title=f"{exp.title} — {args.scheme}",
+    )
+    stats = bundle.get("tree_stats") or {}
+    print(
+        f"telemetry: {bundle['ticks']} samples at {args.interval:.0f} ns "
+        f"({bundle['dropped']} dropped), "
+        f"{stats.get('trees', 0)} congestion trees "
+        f"(max {stats.get('max_concurrent_trees', 0)} concurrent)"
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return rc
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig": _cmd_fig,
@@ -411,6 +501,7 @@ _COMMANDS = {
     "trees": _cmd_trees,
     "sweep": _cmd_sweep,
     "perf": _cmd_perf,
+    "telemetry": _cmd_telemetry,
 }
 
 

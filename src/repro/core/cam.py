@@ -142,6 +142,12 @@ class InputCam:
         self.alloc_failures += 1
         return None
 
+    def note_full(self) -> None:
+        """Record an allocation that was never attempted because every
+        line is known busy (the detection fast path).  Kept as a method
+        so tracing sees these the same as :meth:`allocate` misses."""
+        self.alloc_failures += 1
+
     def free(self, line: CamLine) -> None:
         if self._lines[line.cfq_index] is not line:
             raise CamError(f"freeing unallocated line {line!r}")

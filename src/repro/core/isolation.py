@@ -277,7 +277,7 @@ class NfqCfqScheme(QueueScheme):
             # orphan revival) is possible, so skip the occupancy scan.
             # This is the port's saturated steady state on the 64-node
             # runs, so the early-out matters for simulation speed.
-            self.cam.alloc_failures += 1
+            self.cam.note_full()
             return False
         if self._untracked_nfq_bytes() < self.host.params.detection_threshold:
             return False
@@ -495,6 +495,19 @@ class NfqCfqScheme(QueueScheme):
             }
             for ln in self.cam.lines()
         ]
+        return entry
+
+    def telemetry_sample(self) -> dict:
+        """Adds the isolation-scheme fields the paper's figures turn
+        on: NFQ vs CFQ occupancy split, CAM line count, and how many
+        lines are Stop'd."""
+        entry = super().telemetry_sample()
+        cfq_bytes = sum(q.bytes for q in self.cfqs)
+        lines = self.cam.lines()
+        entry["nfq_bytes"] = self.nfq.bytes
+        entry["cfq_bytes"] = cfq_bytes
+        entry["cam_lines"] = len(lines)
+        entry["stopped_lines"] = sum(1 for ln in lines if ln.stopped)
         return entry
 
     # -- validation hook -------------------------------------------------

@@ -159,4 +159,12 @@ class InjectionGate(Protocol):
         and every throttled destination must be able to recover."""
 
     def snapshot(self) -> Dict[int, object]:
-        """JSON-safe per-destination state for watchdog diagnostics."""
+        """JSON-safe per-destination state for watchdog diagnostics.
+        Also the telemetry sampler's per-destination sample source
+        (CCTI index per throttled destination for table gates, current
+        rate per limited destination for rate gates)."""
+
+    def telemetry_sample(self) -> Dict[str, object]:
+        """Fixed-schema scalar fields for the telemetry sampler — a
+        cheap per-interval summary of the gate (throttled-destination
+        count plus the gate's own severity scalar)."""

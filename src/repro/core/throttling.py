@@ -157,6 +157,12 @@ class ThrottleState:
         """Destination -> CCTI for every throttled destination."""
         return {d: i for d, i in self._ccti.items() if i > 0}
 
+    def telemetry_sample(self) -> Dict[str, object]:
+        """Scalar gate fields for the telemetry sampler: how many
+        destinations are throttled and how deep the worst CCTI sits."""
+        live = [i for i in self._ccti.values() if i > 0]
+        return {"throttled": len(live), "max_ccti": max(live, default=0)}
+
     # -- validation hook -------------------------------------------------
     def audit(self) -> None:
         """Invariant-guard hook: every CCTI indexes inside the CCT, and

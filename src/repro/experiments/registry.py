@@ -50,6 +50,7 @@ class Experiment:
         time_scale: float = 1.0,
         seed: int = 1,
         params=None,
+        telemetry=None,
         **overrides,
     ) -> List[SimJob]:
         """Decompose into one :class:`SimJob` per scheme.  ``overrides``
@@ -65,6 +66,7 @@ class Experiment:
                 seed=seed,
                 params=params,
                 extra=tuple(sorted(extra.items())),
+                telemetry=telemetry,
             )
             for s in (schemes if schemes is not None else self.schemes)
         ]
@@ -87,6 +89,7 @@ class Experiment:
             time_scale=opts.time_scale if time_scale is None else time_scale,
             seed=opts.seed if seed is None else seed,
             params=params if params is not None else opts.params,
+            telemetry=opts.telemetry,
             **overrides,
         )
         report = run_sweep(jobs, options=opts)

@@ -82,6 +82,11 @@ class CaseResult:
     stats: Dict[str, float] = field(default_factory=dict)
     #: the tail measurement window (ns).
     window: Tuple[float, float] = (0.0, 0.0)
+    #: telemetry bundle (:meth:`repro.telemetry.TelemetrySampler.bundle`)
+    #: when the cell ran with telemetry enabled; None otherwise.  The
+    #: bundle is additive: every other field is byte-identical with
+    #: telemetry on or off.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def mean_throughput(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
         times, rates = self.throughput
@@ -96,8 +101,10 @@ class CaseResult:
     # -- serialization (cache + worker transport) -----------------------
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe dict; :meth:`from_dict` inverts it losslessly
-        (json round-trips finite floats exactly)."""
-        return {
+        (json round-trips finite floats exactly).  The ``telemetry``
+        key is present only when a bundle is attached, so results
+        without telemetry serialize exactly as they always have."""
+        out: Dict[str, Any] = {
             "scheme": self.scheme,
             "duration": self.duration,
             "throughput": [self.throughput[0].tolist(), self.throughput[1].tolist()],
@@ -108,6 +115,9 @@ class CaseResult:
             "stats": dict(self.stats),
             "window": [self.window[0], self.window[1]],
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CaseResult":
@@ -123,6 +133,7 @@ class CaseResult:
             flow_bandwidth=dict(data["flow_bandwidth"]),
             stats=dict(data["stats"]),
             window=(float(data["window"][0]), float(data["window"][1])),
+            telemetry=data.get("telemetry"),
         )
 
 
@@ -138,6 +149,7 @@ def _run(
     bin_ns: float,
     sim_factory=None,
     validate: Optional[bool] = None,
+    telemetry=None,
 ) -> CaseResult:
     from repro.metrics.collector import Collector
 
@@ -150,6 +162,14 @@ def _run(
         sim=sim_factory() if sim_factory is not None else None,
         validate=validate,
     )
+    sampler = None
+    if telemetry is not None:
+        from repro.metrics.trace import ProtocolTrace
+        from repro.telemetry import TelemetrySampler
+
+        trace = ProtocolTrace(limit=telemetry.events_limit).attach(fabric)
+        sampler = TelemetrySampler(fabric, config=telemetry, trace=trace).start()
+        fabric.telemetry = sampler
     attach_traffic(fabric, flows=flows, uniform=uniform)
     fabric.run(until=duration)
     c = fabric.collector
@@ -159,6 +179,7 @@ def _run(
         throughput=c.throughput_series(duration),
         stats=fabric.stats(),
         window=window,
+        telemetry=sampler.bundle(duration) if sampler is not None else None,
     )
     for spec in flows:
         result.flow_series[spec.name] = c.flow_series(spec.name, duration)
@@ -177,6 +198,7 @@ def _cell_case1(
     params: Optional[CCParams],
     sim_factory=None,
     validate: Optional[bool] = None,
+    telemetry=None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -191,6 +213,7 @@ def _cell_case1(
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
         sim_factory=sim_factory,
         validate=validate,
+        telemetry=telemetry,
     )
 
 
@@ -202,6 +225,7 @@ def _cell_case2(
     params: Optional[CCParams],
     sim_factory=None,
     validate: Optional[bool] = None,
+    telemetry=None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -216,6 +240,7 @@ def _cell_case2(
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
         sim_factory=sim_factory,
         validate=validate,
+        telemetry=telemetry,
     )
 
 
@@ -227,6 +252,7 @@ def _cell_case3(
     params: Optional[CCParams],
     sim_factory=None,
     validate: Optional[bool] = None,
+    telemetry=None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     flows, uniform = case3_traffic(time_scale=time_scale)
@@ -242,6 +268,7 @@ def _cell_case3(
         bin_ns=max(10_000.0, 100_000.0 * time_scale),
         sim_factory=sim_factory,
         validate=validate,
+        telemetry=telemetry,
     )
 
 
@@ -255,6 +282,7 @@ def _cell_case4(
     duration_ms: float = 3.0,
     sim_factory=None,
     validate: Optional[bool] = None,
+    telemetry=None,
 ) -> CaseResult:
     duration = duration_ms * MS * time_scale
     flows, uniform = case4_traffic(num_trees=num_trees, time_scale=time_scale)
@@ -270,6 +298,7 @@ def _cell_case4(
         bin_ns=max(20_000.0, 100_000.0 * time_scale),
         sim_factory=sim_factory,
         validate=validate,
+        telemetry=telemetry,
     )
 
 
@@ -305,7 +334,10 @@ def run_case(
     zero-argument callable returning the
     :class:`repro.sim.engine.Simulator` to run on, which is how the
     kernel golden tests and the :mod:`repro.perf` harness pin
-    ``kernel=``/``profile=``.
+    ``kernel=``/``profile=``.  ``extra`` may also carry ``telemetry``
+    — a :class:`repro.telemetry.TelemetryConfig` attaching the sampler
+    (results stay byte-identical; the bundle rides on the result) —
+    which otherwise defaults from ``options.telemetry``.
     """
     if case not in _CELLS:
         raise KeyError(f"unknown case {case!r}; choose from {sorted(_CELLS)}")
@@ -317,6 +349,10 @@ def run_case(
         seed = 1 if seed is None else seed
     if params is None and options is not None:
         params = getattr(options, "params", None)
+    if extra.get("telemetry") is None and options is not None:
+        telemetry = getattr(options, "telemetry", None)
+        if telemetry is not None:
+            extra["telemetry"] = telemetry
     return _CELLS[case](scheme=scheme, time_scale=time_scale, seed=seed, params=params, **extra)
 
 

@@ -64,6 +64,7 @@ from repro.experiments.resilience import (
     terminate_pool,
 )
 from repro.experiments.runner import CASE_NAMES, CaseResult, run_case
+from repro.telemetry import TelemetryConfig
 
 __all__ = [
     "SweepOptions",
@@ -115,6 +116,11 @@ class SweepOptions:
     journal: Optional[str] = None
     #: replay completed cells from the journal instead of re-running.
     resume: bool = False
+    #: attach a telemetry sampler to every cell (docs/telemetry.md);
+    #: None runs without telemetry.  Results stay byte-identical — the
+    #: bundle is additive — but the config is part of the cache key, so
+    #: telemetry and non-telemetry runs never serve each other's cells.
+    telemetry: Optional[TelemetryConfig] = None
 
     @property
     def cache_enabled(self) -> bool:
@@ -156,6 +162,8 @@ class SimJob:
     params: Optional[CCParams] = None
     #: per-case knobs, e.g. (("num_trees", 4), ("duration_ms", 3.0)).
     extra: Tuple[Tuple[str, Any], ...] = ()
+    #: telemetry sampling config, or None for no telemetry.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.case not in CASE_NAMES:
@@ -163,8 +171,10 @@ class SimJob:
 
     def payload(self) -> Dict[str, Any]:
         """Everything that determines this cell's output (the cache-key
-        preimage); see docs/sweep.md for the field inventory."""
-        return {
+        preimage); see docs/sweep.md for the field inventory.  The
+        ``telemetry`` key appears only when telemetry is enabled, so
+        pre-telemetry cache entries keep their keys."""
+        out = {
             "version": __version__,
             "case": self.case,
             "topology": _config_descriptor(self.case),
@@ -174,6 +184,9 @@ class SimJob:
             "params": dataclasses.asdict(self.params if self.params is not None else CCParams()),
             "extra": dict(self.extra),
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.to_dict()
+        return out
 
     def key(self) -> str:
         blob = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
@@ -187,6 +200,7 @@ class SimJob:
             time_scale=self.time_scale,
             seed=self.seed,
             params=self.params,
+            telemetry=self.telemetry,
             **dict(self.extra),
         )
 

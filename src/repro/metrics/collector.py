@@ -130,6 +130,14 @@ class Collector:
 
         ``q`` in [0, 100].  Congestion's other victim signature: HoL
         blocking shows up as a p99 explosion long before the mean moves.
+
+        Past :attr:`RESERVOIR` deliveries the value is an estimate
+        over a uniform random subsample of all observed latencies —
+        deterministic for a fixed ``latency_seed`` (reservoir
+        replacement draws come from a dedicated
+        ``np.random.default_rng(latency_seed)`` stream, untouched by
+        the simulation RNGs), but not guaranteed to equal the exact
+        percentile of the full population.
         """
         if not (0.0 <= q <= 100.0):
             raise ValueError(f"percentile must be in [0, 100], got {q}")
@@ -139,8 +147,17 @@ class Collector:
         return float(np.percentile(np.asarray(samples), q))
 
     def fairness(self, flows: Iterable[str], t0: float, t1: float) -> float:
-        """Jain index of the given flows' bandwidth over a window."""
+        """Jain index of the given flows' bandwidth over a window.
+
+        An empty ``flows`` iterable returns ``nan`` (fairness of
+        nothing is undefined, not an error) rather than propagating
+        :func:`~repro.metrics.analysis.jain_index`'s ``ValueError``;
+        callers aggregating over dynamic flow sets can filter with
+        ``math.isnan``.
+        """
         from repro.metrics.analysis import jain_index
 
         rates = [self.flow_bandwidth(f, t0, t1) for f in flows]
+        if not rates:
+            return float("nan")
         return jain_index(rates)

@@ -50,6 +50,10 @@ class ProtocolTrace:
     def __init__(self, limit: int = 1_000_000) -> None:
         self.events: List[TraceEvent] = []
         self.limit = limit
+        #: events discarded after :attr:`limit` was reached.  The first
+        #: drop emits a RuntimeWarning; queries over a trace with
+        #: ``dropped > 0`` only see the run's head.
+        self.dropped = 0
         self._fabric = None
 
     # ------------------------------------------------------------------
@@ -66,6 +70,18 @@ class ProtocolTrace:
         def record(kind: str, where: str, dest=None, detail="") -> None:
             if len(self.events) < self.limit:
                 self.events.append(TraceEvent(sim.now, kind, where, dest, detail))
+            else:
+                if self.dropped == 0:
+                    import warnings
+
+                    warnings.warn(
+                        f"ProtocolTrace reached its {self.limit}-event limit at "
+                        f"t={sim.now:.0f} ns; further events are dropped "
+                        f"(counted in .dropped)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                self.dropped += 1
 
         for sw in fabric.switches:
             for port in sw.input_ports:
@@ -84,6 +100,7 @@ class ProtocolTrace:
         cam = scheme.cam
         orig_alloc = cam.allocate
         orig_free = cam.free
+        orig_note = cam.note_full
 
         def allocate(dest, root, now):
             line = orig_alloc(dest, root, now)
@@ -98,8 +115,15 @@ class ProtocolTrace:
             record("dealloc", name, line.dest, f"cfq{line.cfq_index}")
             return orig_free(line)
 
+        def note_full():
+            # detection's saturated fast path: the scan (and thus the
+            # blamed destination) is skipped, so no dest to report
+            record("cam-full", name, None)
+            return orig_note()
+
         cam.allocate = allocate
         cam.free = free
+        cam.note_full = note_full
 
         orig_stopped = scheme.tree_stopped
 

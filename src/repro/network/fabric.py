@@ -50,6 +50,10 @@ class Fabric:
     #: invariant guard (see :mod:`repro.sim.guard`); None unless the
     #: fabric was built with ``validate=True`` / ``REPRO_SIM_VALIDATE``.
     guard: Optional[object] = None
+    #: telemetry sampler (see :mod:`repro.telemetry`); None unless one
+    #: was attached.  Its periodic ticks are subtracted from the
+    #: ``events`` statistic so results are byte-identical either way.
+    telemetry: Optional[object] = None
 
     def run(self, until: float) -> None:
         """Advance the simulation to time ``until`` (ns).
@@ -79,7 +83,11 @@ class Fabric:
             "cfq_alloc_failures": sum(sw.cam_alloc_failures() for sw in self.switches),
             "allocated_cfqs": sum(sw.allocated_cfqs() for sw in self.switches),
             "buffered_bytes": sum(sw.total_buffered_bytes() for sw in self.switches),
-            "events": self.sim.events_dispatched,
+            # telemetry sampling is read-only but its periodic ticks do
+            # dispatch; exclude them so this count only reflects the
+            # simulation itself (byte-identical with telemetry off).
+            "events": self.sim.events_dispatched
+            - (self.telemetry.ticks if self.telemetry is not None else 0),
         }
         return s
 

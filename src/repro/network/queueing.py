@@ -169,6 +169,17 @@ class CongestionControlScheme:
             }
         }
 
+    def telemetry_sample(self) -> Dict[str, int]:
+        """Fixed-schema numeric fields for the telemetry sampler
+        (:mod:`repro.telemetry`) — cheap enough to read every sampling
+        interval, unlike the diagnostic :meth:`snapshot`.  Schemes with
+        richer state (CAM/CFQ isolation) extend the dict; the keys a
+        given scheme returns never vary between samples."""
+        return {
+            "queued_bytes": self.total_bytes(),
+            "queued_packets": self.total_packets(),
+        }
+
     # -- validation hook ---------------------------------------------------
     def audit(self) -> None:
         """Invariant-guard hook: per-queue counter integrity.  Schemes

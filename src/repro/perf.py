@@ -23,6 +23,11 @@ track regressions:
   actually spends its events on: link, switch, end node, traffic,
   throttling...).
 
+A third measurement, :func:`telemetry_overhead`, gates the telemetry
+subsystem (:mod:`repro.telemetry`): one cell with and without the
+sampler attached, reporting the wall-clock penalty and verifying the
+serialised results are byte-identical either way.
+
 ``--profile`` additionally runs one case under :mod:`cProfile` and
 prints the top functions by cumulative time.  See docs/performance.md.
 """
@@ -40,6 +45,7 @@ __all__ = [
     "dispatch_microbench",
     "bench_case",
     "subsystem_counts",
+    "telemetry_overhead",
     "run_perf",
     "write_report",
 ]
@@ -229,6 +235,69 @@ def bench_case(
     return row
 
 
+def telemetry_overhead(
+    case: str = "case1",
+    scheme: str = "CCFIT",
+    *,
+    kernel: str = "bucket",
+    time_scale: float = 0.05,
+    seed: int = 1,
+    interval: float = 100_000.0,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Measure the telemetry sampler's cost on one figure cell.
+
+    Runs the cell with and without a
+    :class:`~repro.telemetry.TelemetryConfig` attached (best of
+    ``repeats`` walls each) and reports the wall-clock penalty plus
+    ``byte_identical`` — whether the two runs produced the exact same
+    serialised :class:`~repro.experiments.runner.CaseResult` (the
+    sampler is read-only by contract; this is the proof).
+    """
+    from repro.experiments.runner import run_case
+    from repro.telemetry import TelemetryConfig
+
+    def measure(telemetry):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = run_case(
+                case,
+                scheme=scheme,
+                time_scale=time_scale,
+                seed=seed,
+                sim_factory=lambda: Simulator(kernel=kernel),
+                telemetry=telemetry,
+            )
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    wall_off, res_off = measure(None)
+    wall_on, res_on = measure(TelemetryConfig(interval=interval))
+    on_dict = res_on.to_dict()
+    on_dict.pop("telemetry", None)
+    identical = json.dumps(on_dict, sort_keys=True) == json.dumps(
+        res_off.to_dict(), sort_keys=True
+    )
+    events = int(res_off.stats["events"])
+    return {
+        "case": case,
+        "scheme": scheme,
+        "kernel": kernel,
+        "time_scale": time_scale,
+        "seed": seed,
+        "interval": interval,
+        "events": events,
+        "wall_off_s": wall_off,
+        "wall_on_s": wall_on,
+        "event_rate_off": events / wall_off if wall_off > 0 else 0.0,
+        "event_rate_on": events / wall_on if wall_on > 0 else 0.0,
+        "overhead_pct": 100.0 * (wall_on / wall_off - 1.0) if wall_off > 0 else 0.0,
+        "samples": int(res_on.telemetry["ticks"]) if res_on.telemetry else 0,
+        "byte_identical": identical,
+    }
+
+
 def cprofile_case(
     case: str,
     scheme: str,
@@ -270,6 +339,7 @@ def run_perf(
     seed: int = 1,
     micro_events: int = 300_000,
     micro_repeats: int = 3,
+    telemetry_interval: float = 100_000.0,
 ) -> Dict[str, Any]:
     """Assemble the full ``BENCH_engine.json`` payload."""
     kernels = tuple(kernels)
@@ -293,6 +363,18 @@ def run_perf(
                         seed=seed,
                     )
                 )
+    report["telemetry"] = [
+        telemetry_overhead(
+            cases[0],
+            schemes[0],
+            kernel=kernel,
+            time_scale=time_scale,
+            seed=seed,
+            interval=telemetry_interval,
+            repeats=max(1, micro_repeats),
+        )
+        for kernel in kernels
+    ]
     return report
 
 
@@ -325,4 +407,11 @@ def render_report(report: Dict[str, Any]) -> str:
             total = sum(subs.values()) or 1
             parts = ", ".join(f"{k} {100.0 * v / total:.0f}%" for k, v in subs.items())
             lines.append(f"  events by subsystem: {parts}")
+    for row in report.get("telemetry", []):
+        lines.append(
+            f"telemetry overhead {row['case']}/{row['scheme']} [{row['kernel']}]: "
+            f"{row['overhead_pct']:+.1f}% wall at {row['interval']:.0f} ns sampling "
+            f"({row['samples']} samples), results byte-identical: "
+            f"{'yes' if row['byte_identical'] else 'NO'}"
+        )
     return "\n".join(lines)

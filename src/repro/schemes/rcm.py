@@ -201,6 +201,17 @@ class RcmGate:
         """Destination -> rate for every rate-limited destination."""
         return {d: round(r, 6) for d, r in self._rate.items()}
 
+    def telemetry_sample(self) -> Dict[str, object]:
+        """Scalar gate fields for the telemetry sampler: how many
+        destinations are rate-limited and the deepest cut, as a
+        fraction of the peak rate."""
+        if not self._rate:
+            return {"throttled": 0, "min_rate_fraction": 1.0}
+        return {
+            "throttled": len(self._rate),
+            "min_rate_fraction": round(min(self._rate.values()) / self.peak, 6),
+        }
+
     # -- validation hook -------------------------------------------------
     def audit(self) -> None:
         """Invariant-guard hook: every limited rate sits inside

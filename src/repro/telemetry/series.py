@@ -1,0 +1,62 @@
+"""Bounded ring-buffer time series.
+
+Telemetry must never grow without bound inside a long simulation: a
+:class:`SeriesRing` holds the most recent ``capacity`` samples and
+counts every evicted one in :attr:`dropped`, so the exporters can say
+"the head of this series was lost" instead of silently lying about
+coverage.  Appends are O(1) and allocation-free once the ring is full.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+__all__ = ["SeriesRing"]
+
+
+class SeriesRing:
+    """A fixed-capacity append-only series; overwrites the oldest
+    sample once full and counts the evictions."""
+
+    __slots__ = ("capacity", "dropped", "_data", "_start")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        #: samples evicted (overwritten) since construction.
+        self.dropped = 0
+        self._data: List[Any] = []
+        self._start = 0
+
+    def append(self, value: Any) -> None:
+        if len(self._data) < self.capacity:
+            self._data.append(value)
+        else:
+            self._data[self._start] = value
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+
+    def values(self) -> List[Any]:
+        """The retained samples, oldest first."""
+        if self._start == 0:
+            return list(self._data)
+        return self._data[self._start:] + self._data[: self._start]
+
+    def last(self) -> Any:
+        """The most recent sample (raises IndexError when empty)."""
+        if not self._data:
+            raise IndexError("empty series")
+        return self._data[self._start - 1]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SeriesRing(capacity={self.capacity}, len={len(self)}, "
+            f"dropped={self.dropped})"
+        )

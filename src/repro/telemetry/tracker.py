@@ -1,0 +1,188 @@
+"""Congestion-tree lifecycle reconstruction.
+
+The paper's Fig. 8 argument is about *tree concurrency*: FBICM's
+per-port CFQ pool is exhausted when more congestion trees are alive at
+once than there are CFQs, while CCFIT's injection throttling drains
+trees fast enough that the pool suffices.  A :class:`TreeTracker`
+makes that claim measurable: it consumes the structured
+:class:`~repro.metrics.trace.ProtocolTrace` event stream (detections,
+CFQ allocations/deallocations, Stop/Go, CAM-full) and reconstructs one
+:class:`TreeRecord` per congestion tree — root port, birth/peak/drain
+times, CFQ lines consumed, upstream extent — plus a network-wide
+concurrent-trees step series.
+
+A "tree" here is keyed by its congested destination: every CAM line
+allocated for that destination (root or upstream adoption) belongs to
+the same tree, and the tree drains when its last line is deallocated.
+A destination whose congestion re-forms later starts a *new* record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["TreeRecord", "TreeTracker"]
+
+
+@dataclass
+class TreeRecord:
+    """One reconstructed congestion-tree lifecycle."""
+
+    dest: int
+    #: port where the root line was allocated ("" if the trace opened
+    #: with an upstream adoption — e.g. the root predates the trace).
+    root: str
+    birth: float
+    #: time the last CFQ line drained; None while still live at the end.
+    drain: Optional[float] = None
+    #: time the tree reached its peak upstream extent.
+    peak_time: float = 0.0
+    #: maximum simultaneous ports holding a line for this tree.
+    peak_extent: int = 1
+    #: total CFQ lines allocated over the tree's lifetime.
+    cfqs_consumed: int = 0
+    #: Stop transitions observed on this tree's lines.
+    stops: int = 0
+    #: CAM allocation failures attributed to this destination while live.
+    cam_full: int = 0
+
+    def lifetime(self) -> Optional[float]:
+        return None if self.drain is None else self.drain - self.birth
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dest": self.dest,
+            "root": self.root,
+            "birth": self.birth,
+            "drain": self.drain,
+            "peak_time": self.peak_time,
+            "peak_extent": self.peak_extent,
+            "cfqs_consumed": self.cfqs_consumed,
+            "stops": self.stops,
+            "cam_full": self.cam_full,
+        }
+
+
+@dataclass
+class _OpenTree:
+    record: TreeRecord
+    live_ports: set = field(default_factory=set)
+
+
+class TreeTracker:
+    """Fold a chronological TraceEvent stream into per-tree records.
+
+    ``num_cfqs`` is the per-port CFQ pool size (the paper's resource
+    bound); :meth:`stats` compares tree concurrency against it.
+    """
+
+    def __init__(self, num_cfqs: int = 0) -> None:
+        self.num_cfqs = num_cfqs
+        self._open: Dict[int, _OpenTree] = {}
+        self._closed: List[TreeRecord] = []
+        #: (time, live-tree-count) step series, one point per change.
+        self.concurrency: List[Tuple[float, int]] = []
+        #: CAM-full events with no live tree for that destination.
+        self.unattributed_cam_full = 0
+        self._t_last: float = 0.0
+
+    # ------------------------------------------------------------------
+    def consume(self, events) -> "TreeTracker":
+        """Feed TraceEvents (must be in chronological order, which is
+        how ProtocolTrace records them)."""
+        for e in events:
+            self._t_last = max(self._t_last, e.time)
+            if e.kind in ("detect", "adopt"):
+                self._alloc(e)
+            elif e.kind == "dealloc":
+                self._dealloc(e)
+            elif e.kind == "cam-full":
+                tree = self._open.get(e.dest)
+                if tree is not None:
+                    tree.record.cam_full += 1
+                else:
+                    self.unattributed_cam_full += 1
+            elif e.kind == "stop":
+                tree = self._open.get(e.dest)
+                if tree is not None:
+                    tree.record.stops += 1
+        return self
+
+    def _alloc(self, e) -> None:
+        tree = self._open.get(e.dest)
+        if tree is None:
+            root = e.where if e.kind == "detect" else ""
+            tree = _OpenTree(
+                TreeRecord(dest=e.dest, root=root, birth=e.time, peak_time=e.time)
+            )
+            self._open[e.dest] = tree
+            self.concurrency.append((e.time, len(self._open)))
+        elif e.kind == "detect" and not tree.record.root:
+            tree.record.root = e.where
+        tree.record.cfqs_consumed += 1
+        tree.live_ports.add(e.where)
+        if len(tree.live_ports) > tree.record.peak_extent:
+            tree.record.peak_extent = len(tree.live_ports)
+            tree.record.peak_time = e.time
+
+    def _dealloc(self, e) -> None:
+        tree = self._open.get(e.dest)
+        if tree is None:
+            return  # line allocated before the trace attached
+        tree.live_ports.discard(e.where)
+        if not tree.live_ports:
+            tree.record.drain = e.time
+            self._closed.append(tree.record)
+            del self._open[e.dest]
+            self.concurrency.append((e.time, len(self._open)))
+
+    # ------------------------------------------------------------------
+    def records(self) -> List[TreeRecord]:
+        """Every tree lifecycle, closed ones first (chronological by
+        drain), then still-live ones (chronological by birth)."""
+        live = sorted(self._open.values(), key=lambda t: t.record.birth)
+        return self._closed + [t.record for t in live]
+
+    def live_trees(self) -> int:
+        return len(self._open)
+
+    def max_concurrent_trees(self) -> int:
+        """Peak number of simultaneously live congestion trees."""
+        return max((n for _t, n in self.concurrency), default=0)
+
+    def mean_concurrent_trees(self) -> float:
+        """Time-averaged live-tree count over the observed span (from
+        the first lifecycle change to the last trace event)."""
+        if not self.concurrency:
+            return 0.0
+        t0 = self.concurrency[0][0]
+        span = self._t_last - t0
+        if span <= 0:
+            return float(self.concurrency[0][1])
+        area = 0.0
+        for (t, n), (t_next, _n) in zip(self.concurrency, self.concurrency[1:]):
+            area += n * (t_next - t)
+        area += self.concurrency[-1][1] * (self._t_last - self.concurrency[-1][0])
+        return area / span
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe summary: the quantitative form of the paper's
+        "CFQs run out under many trees" claim — compare
+        ``max_concurrent_trees`` against ``num_cfqs`` and look at
+        ``cam_full_events``."""
+        records = self.records()
+        lifetimes = [r.lifetime() for r in records if r.drain is not None]
+        return {
+            "trees": len(records),
+            "live_at_end": self.live_trees(),
+            "max_concurrent_trees": self.max_concurrent_trees(),
+            "mean_concurrent_trees": self.mean_concurrent_trees(),
+            "num_cfqs": self.num_cfqs,
+            "cam_full_events": (
+                self.unattributed_cam_full + sum(r.cam_full for r in records)
+            ),
+            "total_cfqs_consumed": sum(r.cfqs_consumed for r in records),
+            "max_extent": max((r.peak_extent for r in records), default=0),
+            "mean_lifetime": (sum(lifetimes) / len(lifetimes)) if lifetimes else None,
+        }

@@ -88,3 +88,63 @@ class TestCli:
         assert main(["--scale", "0.05", "--svg", str(base), "fig", "9"]) == 0
         panels = sorted(p.name for p in tmp_path.glob("fig9*.svg"))
         assert panels == ["fig9a.svg", "fig9b.svg", "fig9c.svg", "fig9d.svg"]
+
+
+class TestCliTelemetry:
+    def test_telemetry_command_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "tele"
+        rc = main(
+            ["--scale", "0.02", "telemetry", "fig7a", "--scheme", "CCFIT",
+             "--out", str(out), "--interval", "20000"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "telemetry:" in text and "samples" in text
+        for name in ("telemetry.jsonl", "metrics.prom", "dashboard.html"):
+            assert (out / name).is_file()
+
+    def test_telemetry_flag_attaches_sampler_to_options(self):
+        from repro.cli import _options
+
+        args = build_parser().parse_args(
+            ["--scale", "0.05", "--telemetry", "--telemetry-interval", "40000",
+             "case", "1"]
+        )
+        opts = _options(args, cache_by_default=False)
+        assert opts.telemetry is not None
+        assert opts.telemetry.interval == 40_000.0
+        plain = build_parser().parse_args(["--scale", "0.05", "case", "1"])
+        assert _options(plain, cache_by_default=False).telemetry is None
+
+    def test_unknown_telemetry_format_exits_2(self, tmp_path, capsys):
+        rc = main(
+            ["telemetry", "fig7a", "--out", str(tmp_path), "--format", "jsnl"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "jsnl" in err and "did you mean" in err
+
+    def test_unknown_experiment_name_exits_2(self, capsys):
+        rc = main(["telemetry", "fig7z"])
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestCliErrors:
+    def test_unknown_subcommand_gets_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweeo", "fig9"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "sweeo" in err and "did you mean" in err and "sweep" in err
+
+    def test_garbled_subcommand_without_close_match(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["zzqx"])
+        assert exc.value.code == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_other_parse_errors_keep_argparse_contract(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--scale", "not-a-float", "case", "1"])
+        assert exc.value.code == 2

@@ -3,7 +3,13 @@
 import json
 
 from repro.cli import main
-from repro.perf import dispatch_microbench, render_report, run_perf, subsystem_counts
+from repro.perf import (
+    dispatch_microbench,
+    render_report,
+    run_perf,
+    subsystem_counts,
+    telemetry_overhead,
+)
 
 
 def test_dispatch_microbench_counts_events():
@@ -53,7 +59,24 @@ def test_run_perf_report_shape():
     a, b = report["cases"]
     assert a["events"] == b["events"]
     assert a["delivered_packets"] == b["delivered_packets"]
+    # the telemetry-overhead gate runs once per kernel
+    assert {row["kernel"] for row in report["telemetry"]} == {"bucket", "heap"}
+    assert all(row["byte_identical"] for row in report["telemetry"])
     assert render_report(report)  # renders without blowing up
+
+
+def test_telemetry_overhead_gate():
+    """Sampling must leave the results byte-identical and report a
+    finite overhead measurement."""
+    row = telemetry_overhead(
+        "case1", "1Q", kernel="bucket", time_scale=0.02, seed=1,
+        interval=50_000.0, repeats=1,
+    )
+    assert row["byte_identical"] is True
+    assert row["samples"] > 0
+    assert row["events"] > 0
+    assert row["wall_on_s"] > 0 and row["wall_off_s"] > 0
+    assert isinstance(row["overhead_pct"], float)
 
 
 def test_cli_perf_quick_writes_valid_json(tmp_path, capsys):

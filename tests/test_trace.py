@@ -1,5 +1,7 @@
 """Protocol-trace tests (and, through them, protocol-dynamics checks)."""
 
+import warnings
+
 import pytest
 
 from repro.metrics.trace import ProtocolTrace, TraceEvent
@@ -85,8 +87,59 @@ def test_event_limit_bounds_memory():
         fab,
         flows=[FlowSpec(f"h{s}", src=s, dst=4, rate=2.5) for s in (1, 2, 5)],
     )
-    fab.run(until=2_000_000.0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        fab.run(until=2_000_000.0)
     assert len(trace.events) == 10
+
+
+def test_event_limit_counts_drops_and_warns_once():
+    """Regression: events past the limit used to vanish silently — now
+    they are counted in .dropped and the first drop warns (once)."""
+    fab = build_fabric(config1_adhoc(), scheme="CCFIT", seed=5)
+    trace = ProtocolTrace(limit=10).attach(fab)
+    attach_traffic(
+        fab,
+        flows=[FlowSpec(f"h{s}", src=s, dst=4, rate=2.5) for s in (1, 2, 5)],
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fab.run(until=2_000_000.0)
+    assert len(trace.events) == 10
+    assert trace.dropped > 0
+    hits = [
+        w for w in caught
+        if issubclass(w.category, RuntimeWarning) and "ProtocolTrace" in str(w.message)
+    ]
+    assert len(hits) == 1, "the limit warning must fire exactly once"
+
+
+def test_untruncated_trace_reports_no_drops():
+    fab, trace = hot_fabric()
+    fab.run(until=500_000.0)
+    assert trace.events
+    assert trace.dropped == 0
+
+
+def test_cam_saturated_fast_path_is_traced():
+    """The detection early-out (every line known busy) skips the CAM
+    scan, so the event carries no destination — but it must still show
+    up in the trace and in the failure counter."""
+    from repro.core.isolation import NfqCfqScheme
+
+    fab = build_fabric(config1_adhoc(), scheme="FBICM", seed=5)
+    trace = ProtocolTrace().attach(fab)
+    scheme = next(
+        port.scheme
+        for sw in fab.switches
+        for port in sw.input_ports
+        if isinstance(port.scheme, NfqCfqScheme)
+    )
+    before = scheme.cam.alloc_failures
+    scheme.cam.note_full()
+    assert scheme.cam.alloc_failures == before + 1
+    events = trace.query(kind="cam-full")
+    assert events and events[-1].dest is None
 
 
 def test_event_str_is_readable():
