@@ -14,7 +14,11 @@ control mechanisms end to end:
   **ITh** (VOQsw + throttling), **VOQnet** and **VOQsw**, §IV-A;
 * the three evaluated network configurations (Table I) and four
   traffic cases, with one runner per figure in
-  :mod:`repro.experiments`.
+  :mod:`repro.experiments`;
+* a pluggable routing layer (:mod:`repro.network.routing`): the
+  paper's deterministic ``det`` routing plus ``ecmp``, ``adaptive``
+  and ``flowlet`` multipath policies for studying how adaptive routing
+  interacts with the congestion-control schemes (docs/routing.md).
 
 Quick start::
 
@@ -38,6 +42,14 @@ from repro.core.params import CCParams, exponential_cct, linear_cct
 from repro.metrics.analysis import jain_index, oscillation_score
 from repro.metrics.collector import Collector
 from repro.network.fabric import Fabric, build_fabric
+from repro.network.routing import (
+    ROUTING_POLICIES,
+    RoutingPolicy,
+    RoutingPolicySpec,
+    get_policy,
+    policy_names,
+    register_policy,
+)
 from repro.network.topology import Topology, config1_adhoc, k_ary_n_tree
 from repro.sim.engine import Simulator
 from repro.telemetry import TelemetryConfig, TelemetrySampler, TreeTracker
@@ -61,6 +73,12 @@ __all__ = [
     "oscillation_score",
     "Fabric",
     "build_fabric",
+    "ROUTING_POLICIES",
+    "RoutingPolicy",
+    "RoutingPolicySpec",
+    "register_policy",
+    "get_policy",
+    "policy_names",
     "Topology",
     "config1_adhoc",
     "k_ary_n_tree",

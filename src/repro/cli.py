@@ -32,9 +32,11 @@ Commands
 Common options: ``--scale`` (time compression, default 0.3),
 ``--seed``, ``--csv PATH`` (dump the throughput series),
 ``--jobs N`` (worker processes for the simulation grid),
-``--cache-dir PATH`` / ``--no-cache`` (on-disk result cache;
-``sweep`` caches by default, the other commands opt in via
-``--cache-dir``).  See docs/sweep.md for the job/cache model.
+``--routing NAME[,NAME..]`` (routing policy axis — ``det``, ``ecmp``,
+``adaptive``, ``flowlet``; names match case-insensitively, see
+docs/routing.md), ``--cache-dir PATH`` / ``--no-cache`` (on-disk
+result cache; ``sweep`` caches by default, the other commands opt in
+via ``--cache-dir``).  See docs/sweep.md for the job/cache model.
 
 Resilience options (docs/robustness.md): ``--timeout SECONDS``
 (per-cell wall-clock budget), ``--retries N`` (bounded retries with
@@ -66,6 +68,7 @@ from repro.experiments.registry import Experiment
 from repro.experiments.report import (
     render_fig8_summary,
     render_flow_table,
+    render_routing_grid,
     render_series,
     render_table,
 )
@@ -93,6 +96,10 @@ def _add_engine_options(p: argparse.ArgumentParser, suppress: bool = False) -> N
 
     p.add_argument("--jobs", type=int, default=d(1), metavar="N",
                    help="worker processes for the simulation grid (1 = serial)")
+    p.add_argument("--routing", type=str, default=d(None), metavar="NAME[,NAME..]",
+                   help="routing policy (det|ecmp|adaptive|flowlet, "
+                        "case-insensitive; default det).  `sweep` accepts a "
+                        "comma-separated list forming a grid axis")
     p.add_argument("--cache-dir", type=str, default=d(None), metavar="PATH",
                    help="on-disk result cache directory "
                         "(default: ~/.cache/repro-sweep for `sweep`, off otherwise)")
@@ -172,8 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment to run (see --list)")
     sweep.add_argument("--list", action="store_true", dest="list_experiments",
                        help="list registered experiments and exit")
-    sweep.add_argument("--schemes", type=str, default=None, metavar="A,B,..",
-                       help="comma-separated scheme subset (default: the experiment's list)")
+    sweep.add_argument("--schemes", "--scheme", type=str, default=None, metavar="A,B,..",
+                       help="comma-separated scheme subset (default: the experiment's "
+                            "list); names match case-insensitively")
 
     perf = sub.add_parser(
         "perf",
@@ -224,7 +232,10 @@ def _unknown_name(kind: str, name: str, choices: Iterable[str]) -> int:
     """Satellite UX: a typo'd experiment/scheme name exits with code 2
     and a did-you-mean hint instead of a traceback."""
     names = sorted(choices)
-    close = difflib.get_close_matches(name, names, n=3, cutoff=0.4)
+    # match case-insensitively so "ccfti" still suggests CCFIT
+    folded = {n.casefold(): n for n in names}
+    close = difflib.get_close_matches(name.casefold(), list(folded), n=3, cutoff=0.4)
+    close = [folded[c] for c in close]
     hint = f" — did you mean {' or '.join(close)}?" if close else ""
     print(
         f"repro: unknown {kind} {name!r}{hint} (choose from {', '.join(names)})",
@@ -233,7 +244,49 @@ def _unknown_name(kind: str, name: str, choices: Iterable[str]) -> int:
     return 2
 
 
-def _options(args: argparse.Namespace, *, cache_by_default: bool) -> SweepOptions:
+def _canonical_scheme(name: str) -> Optional[str]:
+    """Case-insensitive scheme lookup (``"ccfit"`` -> ``"CCFIT"``)
+    against the live registry; None for an unknown name."""
+    return {s.casefold(): s for s in SCHEMES}.get(name.casefold())
+
+
+def _resolve_routings(args) -> Optional[tuple]:
+    """Parse/validate ``--routing``: comma-separated policy names,
+    matched case-insensitively against the live policy registry.
+    Returns None when the flag was not given; a typo prints a
+    did-you-mean hint and exits 2 (same contract as unknown schemes)."""
+    raw = getattr(args, "routing", None)
+    if not raw:
+        return None
+    from repro.network.routing import policy_names
+
+    by_fold = {n.casefold(): n for n in policy_names()}
+    out: list = []
+    for item in raw.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        match = by_fold.get(item.casefold())
+        if match is None:
+            raise SystemExit(_unknown_name("routing policy", item, policy_names()))
+        if match not in out:
+            out.append(match)
+    return tuple(out) if out else None
+
+
+def _single_routing(args, command: str) -> str:
+    """Commands that run one cell take exactly one policy."""
+    routings = _resolve_routings(args)
+    if routings is not None and len(routings) > 1:
+        print(f"repro: `{command}` accepts a single --routing policy "
+              f"(got {','.join(routings)})", file=sys.stderr)
+        raise SystemExit(2)
+    return routings[0] if routings else "det"
+
+
+def _options(
+    args: argparse.Namespace, *, cache_by_default: bool, routing: str = "det"
+) -> SweepOptions:
     """Build SweepOptions from parsed args.  The cache engages when a
     directory was given explicitly, or by default for ``sweep``;
     ``--no-cache`` always wins."""
@@ -251,6 +304,7 @@ def _options(args: argparse.Namespace, *, cache_by_default: bool) -> SweepOption
     return SweepOptions(
         time_scale=args.scale,
         seed=args.seed,
+        routing=routing,
         jobs=args.jobs,
         cache_dir=cache_dir,
         use_cache=not args.no_cache,
@@ -300,6 +354,8 @@ def _render_results(exp: Experiment, results: Dict[str, CaseResult], args) -> No
         print(render_series(results, stride=max(1, n // stride_div)))
         if exp.case == "case4":
             print(render_fig8_summary(results))
+    elif exp.kind == "grid":
+        print(render_routing_grid(results))
     else:
         print(render_flow_table(results, exp.flows))
     if args.csv:
@@ -354,35 +410,48 @@ def _case_schemes() -> tuple:
     return tuple(SCHEMES)
 
 
+def _result_key(scheme: str, routing: str) -> str:
+    """The key :meth:`Experiment.run` files a cell under."""
+    return scheme if routing == "det" else f"{scheme}@{routing}"
+
+
 def _cmd_fig(args) -> int:
     exp = registry.get(f"fig{args.panel}")
-    opts = _options(args, cache_by_default=False)
-    results, report = exp.run(options=opts)
+    routings = _resolve_routings(args)
+    opts = _options(args, cache_by_default=False,
+                    routing=routings[0] if routings else "det")
+    results, report = exp.run(routings=routings, options=opts)
     _render_results(exp, results, args)
     return _report_engine(report, opts, args)
 
 
 def _cmd_case(args) -> int:
-    if args.scheme not in _case_schemes():
+    scheme = _canonical_scheme(args.scheme)
+    if scheme is None:
         return _unknown_name("scheme", args.scheme, _case_schemes())
+    routing = _single_routing(args, "case")
     exp = registry.get(f"case{args.number}")
-    opts = _options(args, cache_by_default=False)
-    results, report = exp.run(schemes=(args.scheme,), options=opts)
-    if args.scheme in results:
-        _print_case(results[args.scheme])
+    opts = _options(args, cache_by_default=False, routing=routing)
+    results, report = exp.run(schemes=(scheme,), options=opts)
+    key = _result_key(scheme, routing)
+    if key in results:
+        _print_case(results[key])
     if args.csv:
         _write_csv(args.csv, results)
     return _report_engine(report, opts, args)
 
 
 def _cmd_trees(args) -> int:
-    if args.scheme not in _case_schemes():
+    scheme = _canonical_scheme(args.scheme)
+    if scheme is None:
         return _unknown_name("scheme", args.scheme, _case_schemes())
+    routing = _single_routing(args, "trees")
     exp = registry.get("case4")
-    opts = _options(args, cache_by_default=False)
-    results, report = exp.run(schemes=(args.scheme,), options=opts, num_trees=args.count)
-    if args.scheme in results:
-        res = results[args.scheme]
+    opts = _options(args, cache_by_default=False, routing=routing)
+    results, report = exp.run(schemes=(scheme,), options=opts, num_trees=args.count)
+    key = _result_key(scheme, routing)
+    if key in results:
+        res = results[key]
         _print_case(res)
         print(f"burst-window throughput: {res.mean_throughput():.1f} GB/s")
     if args.csv:
@@ -393,7 +462,8 @@ def _cmd_trees(args) -> int:
 def _cmd_sweep(args) -> int:
     if args.list_experiments:
         rows = [
-            {"name": e.name, "case": e.case, "schemes": ",".join(e.schemes), "title": e.title}
+            {"name": e.name, "case": e.case, "schemes": ",".join(e.schemes),
+             "routings": ",".join(e.routings) or "det", "title": e.title}
             for e in registry.experiments()
         ]
         print(render_table(rows))
@@ -406,12 +476,20 @@ def _cmd_sweep(args) -> int:
     exp = registry.get(args.name)
     schemes: Optional[tuple] = None
     if args.schemes:
-        schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
-        unknown = [s for s in schemes if s not in SCHEMES]
-        if unknown:
-            return _unknown_name("scheme", unknown[0], SCHEMES)
-    opts = _options(args, cache_by_default=True)
-    results, report = exp.run(schemes=schemes, options=opts)
+        schemes = []
+        for raw in args.schemes.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            canonical = _canonical_scheme(raw)
+            if canonical is None:
+                return _unknown_name("scheme", raw, SCHEMES)
+            schemes.append(canonical)
+        schemes = tuple(schemes)
+    routings = _resolve_routings(args)
+    opts = _options(args, cache_by_default=True,
+                    routing=routings[0] if routings else "det")
+    results, report = exp.run(schemes=schemes, routings=routings, options=opts)
     print(exp.title)
     _render_results(exp, results, args)
     return _report_engine(report, opts, args, always=True)
@@ -426,11 +504,17 @@ def _cmd_perf(args) -> int:
         print(f"perf: unknown case {args.perf_case!r}; choose from {CASE_NAMES}",
               file=sys.stderr)
         return 2
-    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
-    unknown = [s for s in schemes if s not in ALL_SCHEMES]
-    if unknown:
-        print(f"perf: unknown scheme(s) {', '.join(unknown)}", file=sys.stderr)
-        return 2
+    schemes = []
+    for raw in args.schemes.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        canonical = _canonical_scheme(raw)
+        if canonical is None:
+            return _unknown_name("scheme", raw, ALL_SCHEMES)
+        schemes.append(canonical)
+    schemes = tuple(schemes)
+    routing = _single_routing(args, "perf")
     kernels = ("bucket", "heap") if args.kernel == "both" else (args.kernel,)
     if args.quick:
         time_scale, micro_events, micro_repeats = 0.03, 60_000, 1
@@ -444,6 +528,7 @@ def _cmd_perf(args) -> int:
         seed=args.seed,
         micro_events=micro_events,
         micro_repeats=micro_repeats,
+        routing=routing,
     )
     report["quick"] = bool(args.quick)
     print(render_report(report))
@@ -460,27 +545,29 @@ def _cmd_telemetry(args) -> int:
 
     if args.name not in registry.names():
         return _unknown_name("experiment", args.name, registry.names())
-    if args.scheme not in _case_schemes():
+    scheme = _canonical_scheme(args.scheme)
+    if scheme is None:
         return _unknown_name("scheme", args.scheme, _case_schemes())
     if args.tele_format not in TELEMETRY_FORMATS:
         return _unknown_name("telemetry format", args.tele_format, TELEMETRY_FORMATS)
+    routing = _single_routing(args, "telemetry")
     exp = registry.get(args.name)
     import dataclasses
 
     opts = dataclasses.replace(
-        _options(args, cache_by_default=False),
+        _options(args, cache_by_default=False, routing=routing),
         telemetry=TelemetryConfig(interval=args.interval),
     )
-    results, report = exp.run(schemes=(args.scheme,), options=opts)
+    results, report = exp.run(schemes=(scheme,), routings=(routing,), options=opts)
     rc = _report_engine(report, opts, args)
-    res = results.get(args.scheme)
+    res = results.get(_result_key(scheme, routing))
     if res is None or res.telemetry is None:
         print("telemetry: no bundle produced (cell failed?)", file=sys.stderr)
         return rc or 1
     bundle = res.telemetry
     written = write_bundle(
         bundle, args.out, fmt=args.tele_format,
-        title=f"{exp.title} — {args.scheme}",
+        title=f"{exp.title} — {scheme}" + (f" @{routing}" if routing != "det" else ""),
     )
     stats = bundle.get("tree_stats") or {}
     print(

@@ -174,6 +174,15 @@ class CCParams:
     #: AdVOQ depth at the IA before the generator blocks (packets).
     advoq_cap_packets: int = 32
 
+    # -- adaptive routing (repro.network.routing) -----------------------
+    #: flowlet idle gap (ns): the ``flowlet`` routing policy keeps a
+    #: flow on its current path while consecutive packets arrive within
+    #: this gap, and re-selects adaptively after a longer silence.  The
+    #: default is ~60 MTU serialisation times at 2.5 GB/s — long enough
+    #: that a back-to-back burst never splits, short enough that a
+    #: throttled flow re-routes within one CCTI_Timer period.
+    flowlet_gap: float = 50_000.0
+
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Enforce the §III-E tuning relations; raise :class:`ParamError`."""
@@ -244,6 +253,8 @@ class CCParams:
             raise ParamError("VOQnet queues must hold at least one MTU")
         if self.advoq_cap_packets < 1:
             raise ParamError("AdVOQ capacity must be >= 1 packet")
+        if self.flowlet_gap < 0:
+            raise ParamError(f"flowlet_gap must be >= 0, got {self.flowlet_gap}")
         if self.islip_iterations < 1:
             raise ParamError("iSlip needs at least one iteration")
 

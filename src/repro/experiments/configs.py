@@ -110,6 +110,8 @@ def table1() -> List[Dict[str, object]]:
                 "switching": "virtual cut-through (packet grain)",
                 "scheduling": "iSlip",
                 "flow_control": "credit-based",
+                # the paper's default; the CLI's --routing swaps in a
+                # registered multipath policy (docs/routing.md)
                 "routing": "deterministic (DET), table-based",
             }
         )

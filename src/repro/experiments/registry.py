@@ -42,22 +42,34 @@ class Experiment:
     flows: Tuple[str, ...] = ()
     #: static per-case knobs (e.g. Fig. 8's ``num_trees``).
     extra: Tuple[Tuple[str, Any], ...] = ()
+    #: default routing-policy axis (docs/routing.md).  Empty means one
+    #: policy per grid — whatever the caller/options select (usually
+    #: "det"); a non-empty tuple (the ``routing_grid`` experiment)
+    #: crosses every scheme with every listed policy.
+    routings: Tuple[str, ...] = ()
 
     def jobs(
         self,
         *,
         schemes: Optional[Tuple[str, ...]] = None,
+        routings: Optional[Tuple[str, ...]] = None,
         time_scale: float = 1.0,
         seed: int = 1,
         params=None,
         telemetry=None,
+        routing: str = "det",
         **overrides,
     ) -> List[SimJob]:
-        """Decompose into one :class:`SimJob` per scheme.  ``overrides``
-        update the static ``extra`` knobs (the ``trees`` CLI command
-        overrides ``num_trees`` this way)."""
+        """Decompose into one :class:`SimJob` per (scheme, routing)
+        cell.  ``overrides`` update the static ``extra`` knobs (the
+        ``trees`` CLI command overrides ``num_trees`` this way).  The
+        routing axis defaults to :attr:`routings`, falling back to the
+        single policy ``routing``."""
         extra = dict(self.extra)
         extra.update(overrides)
+        axis = routings if routings is not None else self.routings
+        if not axis:
+            axis = (routing,)
         return [
             SimJob(
                 case=self.case,
@@ -67,14 +79,17 @@ class Experiment:
                 params=params,
                 extra=tuple(sorted(extra.items())),
                 telemetry=telemetry,
+                routing=r,
             )
             for s in (schemes if schemes is not None else self.schemes)
+            for r in axis
         ]
 
     def run(
         self,
         *,
         schemes: Optional[Tuple[str, ...]] = None,
+        routings: Optional[Tuple[str, ...]] = None,
         options: Optional[SweepOptions] = None,
         time_scale: Optional[float] = None,
         seed: Optional[int] = None,
@@ -82,18 +97,30 @@ class Experiment:
         **overrides,
     ) -> Tuple[Dict[str, CaseResult], SweepReport]:
         """Run the grid through the sweep engine; explicit keywords win
-        over the corresponding ``options`` fields."""
+        over the corresponding ``options`` fields.
+
+        The result mapping is keyed by scheme for det cells and
+        ``"<scheme>@<routing>"`` for non-det cells, so single-policy
+        grids keep their historical keys while routing grids stay
+        unambiguous."""
         opts = options if options is not None else SweepOptions()
         jobs = self.jobs(
             schemes=schemes,
+            routings=routings,
             time_scale=opts.time_scale if time_scale is None else time_scale,
             seed=opts.seed if seed is None else seed,
             params=params if params is not None else opts.params,
             telemetry=opts.telemetry,
+            routing=opts.routing,
             **overrides,
         )
         report = run_sweep(jobs, options=opts)
-        return report.by_scheme(), report
+        results = {
+            (job.scheme if job.routing == "det" else f"{job.scheme}@{job.routing}"): res
+            for job, res in zip(report.jobs, report.results)
+            if res is not None
+        }
+        return results, report
 
 
 REGISTRY: Dict[str, Experiment] = {}
@@ -155,3 +182,15 @@ register(Experiment("case3", "Traffic Case #3 on Config #2 (Case #2 + uniform no
 register(Experiment("case4", "Traffic Case #4 on Config #3 (hotspot burst, scalability)",
                     case="case4", schemes=_ALL_SCHEMES, kind="series",
                     extra=(("num_trees", 1),)))
+
+# ---------------------------------------------------------------- routing
+# Adaptive routing x congestion control on the Fig. 8b incast (Config
+# #3, 4 simultaneous congestion trees): does spreading flows over the
+# alternative upward paths help or hurt once CCFIT/FBICM isolate the
+# congested flows?  (Cf. Rocher-Gonzalez et al. on the interaction of
+# adaptive routing and congestion control in fat-trees.)
+register(Experiment("routing_grid",
+                    "Routing x scheme grid on Config #3 (4 congestion trees)",
+                    case="case4", schemes=("ITh", "FBICM", "CCFIT"), kind="grid",
+                    extra=(("num_trees", 4),),
+                    routings=("det", "ecmp", "adaptive", "flowlet")))

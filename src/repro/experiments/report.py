@@ -12,7 +12,13 @@ import numpy as np
 
 from repro.experiments.runner import CaseResult
 
-__all__ = ["render_table", "render_series", "render_flow_table", "render_fig8_summary"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_flow_table",
+    "render_fig8_summary",
+    "render_routing_grid",
+]
 
 
 def render_table(rows: List[dict], columns: Optional[Sequence[str]] = None) -> str:
@@ -76,6 +82,33 @@ def render_fig8_summary(results: Dict[str, CaseResult]) -> str:
             }
         )
     return render_table(rows)
+
+
+def render_routing_grid(results: Dict[str, CaseResult]) -> str:
+    """Scheme x routing-policy matrix of burst-window mean throughput
+    (GB/s) — the ``routing_grid`` experiment's table.
+
+    ``results`` keys are ``"<scheme>"`` (det routing) or
+    ``"<scheme>@<routing>"`` as produced by
+    :meth:`repro.experiments.registry.Experiment.run`.
+    """
+    cells: Dict[str, Dict[str, CaseResult]] = {}
+    routings: List[str] = []
+    for key, res in results.items():
+        scheme, _, routing = key.partition("@")
+        routing = routing or res.routing
+        cells.setdefault(scheme, {})[routing] = res
+        if routing not in routings:
+            routings.append(routing)
+    rows = []
+    for scheme, by_routing in cells.items():
+        row: Dict[str, object] = {"scheme": scheme}
+        for routing in routings:
+            res = by_routing.get(routing)
+            row[routing] = f"{res.mean_throughput():.1f}" if res is not None else "-"
+        rows.append(row)
+    header = "-- burst-window mean throughput (GB/s), scheme x routing --"
+    return header + "\n" + render_table(rows, columns=["scheme", *routings])
 
 
 def series_checksum(results: Dict[str, CaseResult]) -> float:

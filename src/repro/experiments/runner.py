@@ -87,6 +87,9 @@ class CaseResult:
     #: bundle is additive: every other field is byte-identical with
     #: telemetry on or off.
     telemetry: Optional[Dict[str, Any]] = None
+    #: routing policy the cell ran under (docs/routing.md).  Serialized
+    #: only when not "det", so pre-routing results keep their bytes.
+    routing: str = "det"
 
     def mean_throughput(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
         times, rates = self.throughput
@@ -102,8 +105,9 @@ class CaseResult:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe dict; :meth:`from_dict` inverts it losslessly
         (json round-trips finite floats exactly).  The ``telemetry``
-        key is present only when a bundle is attached, so results
-        without telemetry serialize exactly as they always have."""
+        key is present only when a bundle is attached, and the
+        ``routing`` key only for non-default policies, so results
+        without either serialize exactly as they always have."""
         out: Dict[str, Any] = {
             "scheme": self.scheme,
             "duration": self.duration,
@@ -117,6 +121,8 @@ class CaseResult:
         }
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry
+        if self.routing != "det":
+            out["routing"] = self.routing
         return out
 
     @classmethod
@@ -134,6 +140,7 @@ class CaseResult:
             stats=dict(data["stats"]),
             window=(float(data["window"][0]), float(data["window"][1])),
             telemetry=data.get("telemetry"),
+            routing=data.get("routing", "det"),
         )
 
 
@@ -150,6 +157,7 @@ def _run(
     sim_factory=None,
     validate: Optional[bool] = None,
     telemetry=None,
+    routing: str = "det",
 ) -> CaseResult:
     from repro.metrics.collector import Collector
 
@@ -161,6 +169,7 @@ def _run(
         collector=Collector(bin_ns=bin_ns),
         sim=sim_factory() if sim_factory is not None else None,
         validate=validate,
+        routing=routing,
     )
     sampler = None
     if telemetry is not None:
@@ -180,6 +189,7 @@ def _run(
         stats=fabric.stats(),
         window=window,
         telemetry=sampler.bundle(duration) if sampler is not None else None,
+        routing=fabric.routing,
     )
     for spec in flows:
         result.flow_series[spec.name] = c.flow_series(spec.name, duration)
@@ -199,6 +209,7 @@ def _cell_case1(
     sim_factory=None,
     validate: Optional[bool] = None,
     telemetry=None,
+    routing: str = "det",
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -214,6 +225,7 @@ def _cell_case1(
         sim_factory=sim_factory,
         validate=validate,
         telemetry=telemetry,
+        routing=routing,
     )
 
 
@@ -226,6 +238,7 @@ def _cell_case2(
     sim_factory=None,
     validate: Optional[bool] = None,
     telemetry=None,
+    routing: str = "det",
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -241,6 +254,7 @@ def _cell_case2(
         sim_factory=sim_factory,
         validate=validate,
         telemetry=telemetry,
+        routing=routing,
     )
 
 
@@ -253,6 +267,7 @@ def _cell_case3(
     sim_factory=None,
     validate: Optional[bool] = None,
     telemetry=None,
+    routing: str = "det",
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     flows, uniform = case3_traffic(time_scale=time_scale)
@@ -269,6 +284,7 @@ def _cell_case3(
         sim_factory=sim_factory,
         validate=validate,
         telemetry=telemetry,
+        routing=routing,
     )
 
 
@@ -283,6 +299,7 @@ def _cell_case4(
     sim_factory=None,
     validate: Optional[bool] = None,
     telemetry=None,
+    routing: str = "det",
 ) -> CaseResult:
     duration = duration_ms * MS * time_scale
     flows, uniform = case4_traffic(num_trees=num_trees, time_scale=time_scale)
@@ -299,6 +316,7 @@ def _cell_case4(
         sim_factory=sim_factory,
         validate=validate,
         telemetry=telemetry,
+        routing=routing,
     )
 
 
@@ -320,6 +338,7 @@ def run_case(
     time_scale: Optional[float] = None,
     seed: Optional[int] = None,
     params: Optional[CCParams] = None,
+    routing: Optional[str] = None,
     options=None,
     **extra,
 ) -> CaseResult:
@@ -328,8 +347,11 @@ def run_case(
     This is the unified, keyword-only entry point behind every
     ``run_case*`` wrapper and every sweep-engine job.  ``options`` may
     be a :class:`~repro.experiments.sweep.SweepOptions` supplying the
-    defaults for ``time_scale``/``seed``/``params``; explicit keywords
-    win over it.  ``extra`` carries per-case knobs (Case #4 accepts
+    defaults for ``time_scale``/``seed``/``params``/``routing``;
+    explicit keywords win over it.  ``routing`` names a registered
+    routing policy (``det``/``ecmp``/``adaptive``/``flowlet``, see
+    docs/routing.md); the default ``det`` is the paper's deterministic
+    routing and reproduces pre-policy results byte-for-byte.  ``extra`` carries per-case knobs (Case #4 accepts
     ``num_trees`` and ``duration_ms``) plus ``sim_factory`` — a
     zero-argument callable returning the
     :class:`repro.sim.engine.Simulator` to run on, which is how the
@@ -349,11 +371,16 @@ def run_case(
         seed = 1 if seed is None else seed
     if params is None and options is not None:
         params = getattr(options, "params", None)
+    if routing is None:
+        routing = getattr(options, "routing", None) if options is not None else None
+        routing = "det" if routing is None else routing
     if extra.get("telemetry") is None and options is not None:
         telemetry = getattr(options, "telemetry", None)
         if telemetry is not None:
             extra["telemetry"] = telemetry
-    return _CELLS[case](scheme=scheme, time_scale=time_scale, seed=seed, params=params, **extra)
+    return _CELLS[case](
+        scheme=scheme, time_scale=time_scale, seed=seed, params=params, routing=routing, **extra
+    )
 
 
 # ----------------------------------------------------------------------

@@ -12,7 +12,8 @@ them through :func:`run_sweep`, which
 * memoizes finished cells in a :class:`ResultCache` keyed by a SHA-256
   hash of everything that determines the cell's output — topology
   descriptor, :class:`~repro.core.params.CCParams`, traffic case,
-  scheme, seed, time scale and the ``repro`` version — so repeated CLI
+  scheme, routing policy, seed, time scale and the ``repro`` version —
+  so repeated CLI
   runs, benchmarks and EXPERIMENTS.md regeneration reuse results
   instead of re-simulating, and
 * survives misbehaving cells: per-job wall-clock timeouts, bounded
@@ -96,6 +97,9 @@ class SweepOptions:
     time_scale: float = 1.0
     seed: int = 1
     params: Optional[CCParams] = None
+    #: default routing policy for cells that don't pin one
+    #: (docs/routing.md); "det" is the paper's deterministic routing.
+    routing: str = "det"
     #: worker processes; 1 = serial in-process execution.
     jobs: int = 1
     #: cache directory, or None for no on-disk cache.
@@ -164,16 +168,27 @@ class SimJob:
     extra: Tuple[Tuple[str, Any], ...] = ()
     #: telemetry sampling config, or None for no telemetry.
     telemetry: Optional[TelemetryConfig] = None
+    #: routing policy the cell runs under (docs/routing.md); "det" is
+    #: the paper's deterministic routing.
+    routing: str = "det"
 
     def __post_init__(self) -> None:
         if self.case not in CASE_NAMES:
             raise KeyError(f"unknown case {self.case!r}; choose from {sorted(CASE_NAMES)}")
 
+    def __getattr__(self, name: str) -> Any:
+        # jobs pickled (or journaled) before the routing axis existed
+        # deserialize without the field; they meant deterministic routing.
+        if name == "routing":
+            return "det"
+        raise AttributeError(name)
+
     def payload(self) -> Dict[str, Any]:
         """Everything that determines this cell's output (the cache-key
         preimage); see docs/sweep.md for the field inventory.  The
-        ``telemetry`` key appears only when telemetry is enabled, so
-        pre-telemetry cache entries keep their keys."""
+        ``telemetry`` key appears only when telemetry is enabled, and
+        the ``routing`` key only for non-default policies, so
+        pre-telemetry / pre-routing cache entries keep their keys."""
         out = {
             "version": __version__,
             "case": self.case,
@@ -186,6 +201,8 @@ class SimJob:
         }
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry.to_dict()
+        if self.routing != "det":
+            out["routing"] = self.routing
         return out
 
     def key(self) -> str:
@@ -201,12 +218,16 @@ class SimJob:
             seed=self.seed,
             params=self.params,
             telemetry=self.telemetry,
+            routing=self.routing,
             **dict(self.extra),
         )
 
     def label(self) -> str:
         extra = ",".join(f"{k}={v}" for k, v in self.extra)
-        return f"{self.case}/{self.scheme}" + (f"[{extra}]" if extra else "")
+        base = f"{self.case}/{self.scheme}"
+        if self.routing != "det":
+            base += f"@{self.routing}"
+        return base + (f"[{extra}]" if extra else "")
 
 
 class ResultCache:

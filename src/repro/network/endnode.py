@@ -71,8 +71,10 @@ class IaStage:
     same :class:`NfqCfqScheme` used by switch ports runs at the IA
     ("IA has a CAM with the same behavior as the ones located at
     switches", §III-B).  The stage's single "output port" is the
-    injection link, so ``route`` is always 0; there is nothing above
-    the AdVOQs, so upstream propagation is a no-op.
+    injection link, so ``route`` is always 0 (end nodes have a single
+    uplink — the switch-side :class:`~repro.network.routing.RoutingPolicy`
+    never applies here); there is nothing above the AdVOQs, so
+    upstream propagation is a no-op.
     """
 
     def __init__(self, node: "EndNode", capacity: int) -> None:

@@ -22,7 +22,7 @@ from repro.core.params import CCParams
 from repro.metrics.collector import Collector
 from repro.network.endnode import EndNode
 from repro.network.link import Link
-from repro.network.routing import RoutingTable
+from repro.network.routing import RoutingPolicySpec, RoutingTable, get_policy
 from repro.network.switch import Switch
 from repro.network.topology import Topology
 from repro.sim.engine import Simulator
@@ -45,6 +45,9 @@ class Fabric:
     links: List[Link]
     collector: Collector
     rngs: RngFactory
+    #: name of the routing policy every switch runs ("det" unless
+    #: overridden — see :mod:`repro.network.routing`).
+    routing: str = "det"
     #: generators registered by the traffic layer (kept alive here).
     generators: List[object] = field(default_factory=list)
     #: invariant guard (see :mod:`repro.sim.guard`); None unless the
@@ -108,6 +111,7 @@ def build_fabric(
     sim: Optional[Simulator] = None,
     validate: Optional[bool] = None,
     guard_config=None,
+    routing: "str | RoutingPolicySpec" = "det",
 ) -> Fabric:
     """Instantiate a simulated network.
 
@@ -119,6 +123,12 @@ def build_fabric(
         One of ``1Q, VOQsw, VOQnet, FBICM, ITh, CCFIT`` (§IV-A).
     params:
         CC parameters; defaults to the paper's configuration.
+    routing:
+        A registered routing-policy name (``det``, ``ecmp``,
+        ``adaptive``, ``flowlet`` — see :mod:`repro.network.routing`)
+        or a :class:`~repro.network.routing.RoutingPolicySpec`.  The
+        default ``det`` is the paper's table-based deterministic
+        routing and is byte-identical to the pre-policy builder.
     seed:
         Root seed — identical seeds give identical simulations.
     collector, sim:
@@ -133,6 +143,7 @@ def build_fabric(
         guard is enabled).
     """
     spec, params = scheme_params(scheme, params)
+    policy_spec = routing if isinstance(routing, RoutingPolicySpec) else get_policy(routing)
     sim = sim if sim is not None else Simulator()
     rngs = RngFactory(seed)
     collector = collector if collector is not None else Collector()
@@ -160,7 +171,14 @@ def build_fabric(
             sim,
             f"sw{s.id}",
             num_ports=s.num_ports,
-            routing=RoutingTable.from_topology(topo, s.id),
+            routing=policy_spec.build(
+                table=RoutingTable.from_topology(topo, s.id),
+                # the candidate index is never built for det (perf)
+                candidates=(
+                    topo.candidate_map(s.id) if policy_spec.needs_candidates else None
+                ),
+                params=switch_params,
+            ),
             params=switch_params,
             scheme_factory=lambda port, _n=num_nodes: spec.switch_scheme(port, _n),
             marker=(
@@ -224,6 +242,7 @@ def build_fabric(
         links=links,
         collector=collector,
         rngs=rngs,
+        routing=policy_spec.name,
     )
     if validation_enabled(validate):
         from repro.sim.guard import FabricGuard

@@ -1,4 +1,4 @@
-"""Table-based distributed deterministic routing.
+"""Routing: deterministic tables and the pluggable policy layer.
 
 The paper's switches use "distributed deterministic routing
 (InfiniBand being a prominent example) ... table-based" (§III-A,
@@ -10,16 +10,58 @@ deterministic BFS (lowest-port tie-break).  The fat-tree builders ship
 their own DET tables (see :mod:`repro.network.topology`); BFS routing
 is used for ad-hoc test topologies and as a differential-testing
 baseline (both must deliver every packet).
+
+Routing policies
+----------------
+Since the follow-on question of Rocher-Gonzalez et al. — does adaptive
+routing help or hurt under congestion management? — the *choice* among
+minimal output ports is a pluggable :class:`RoutingPolicy`, mirroring
+the congestion-control scheme registry of :mod:`repro.core.ccfit`:
+
+* ``det`` — :class:`DetRoutingPolicy`, the paper's table-based DET
+  (byte-identical golden reference; the default everywhere);
+* ``ecmp`` — :class:`EcmpRoutingPolicy`, deterministic (src, dst) hash
+  over the minimal candidate set;
+* ``adaptive`` — :class:`AdaptiveRoutingPolicy`, least-occupied
+  candidate by downstream buffer occupancy + local serialisation
+  backlog;
+* ``flowlet`` — :class:`FlowletRoutingPolicy`, adaptive re-selection
+  only after a per-flow idle gap (``CCParams.flowlet_gap``), so
+  packet bursts stay on one path.
+
+Policies are *per-switch* objects built from a registered
+:class:`RoutingPolicySpec` (:func:`register_policy` /
+:func:`get_policy` / :func:`policy_names`); the CLI ``--routing``
+flag, the sweep engine and the invariant guard all read the live
+registry.  Every policy restricts itself to the topology's minimal
+candidate sets (:meth:`repro.network.topology.Topology.candidates`),
+so delivery is loop-free by construction; the congestion-tree control
+plane always anchors on the deterministic port
+(:meth:`RoutingPolicy.control_port`), keeping tree announcements
+stable while the data path adapts.  See docs/routing.md.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.network.topology import Topology, TopologyError
 
-__all__ = ["RoutingTable", "build_routing"]
+__all__ = [
+    "RoutingTable",
+    "build_routing",
+    "RoutingPolicy",
+    "DetRoutingPolicy",
+    "EcmpRoutingPolicy",
+    "AdaptiveRoutingPolicy",
+    "FlowletRoutingPolicy",
+    "RoutingPolicySpec",
+    "ROUTING_POLICIES",
+    "register_policy",
+    "get_policy",
+    "policy_names",
+]
 
 
 class RoutingTable:
@@ -34,10 +76,17 @@ class RoutingTable:
     def lookup(self, dst: int) -> int:
         """Output port for destination ``dst``.
 
-        Raises :class:`KeyError` for unroutable destinations — a
+        Raises :class:`~repro.network.topology.TopologyError` naming
+        the switch and destination for unroutable destinations — a
         configuration error, never expected at runtime.
         """
-        return self._table[dst]
+        try:
+            return self._table[dst]
+        except KeyError:
+            raise TopologyError(
+                f"switch {self.switch_id} has no route for destination "
+                f"{dst} (table covers {len(self._table)} destination(s))"
+            ) from None
 
     def __contains__(self, dst: int) -> bool:
         return dst in self._table
@@ -103,3 +152,304 @@ def build_routing(topo: Topology) -> Dict[Tuple[int, int], int]:
             else:
                 raise TopologyError(f"no next hop at switch {sw} for dst {dst}")
     return routes
+
+
+# ----------------------------------------------------------------------
+# routing policies
+# ----------------------------------------------------------------------
+class RoutingPolicy:
+    """Per-switch routing decision object (one instance per switch).
+
+    The contract mirrors
+    :class:`repro.network.queueing.CongestionControlScheme`: devices
+    never branch on concrete policy classes — they call the hooks:
+
+    * :meth:`route` — the data path, once per packet head;
+    * :meth:`select_output` — the *only* method most policies override:
+      pick one port from the minimal candidate set;
+    * :meth:`control_port` — where congestion-tree state for a
+      destination lives.  Always the deterministic table port, so CAM
+      announcements, root-CFQ hot marks and BECN forwarding stay on
+      one stable anchor per (switch, destination) even while the data
+      path spreads packets (a modelling approximation, documented in
+      docs/routing.md);
+    * :meth:`snapshot` / :meth:`audit` — introspection for the
+      watchdog dump and the invariant guard.
+
+    ``candidates`` maps ``dst -> minimal output ports`` (sorted), from
+    :meth:`repro.network.topology.Topology.candidate_map`; it may be
+    ``None`` for policies that never consult it (``det``).
+    """
+
+    #: registry name, set on subclasses.
+    name = "base"
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        candidates: Optional[Dict[int, Tuple[int, ...]]] = None,
+        params=None,
+    ) -> None:
+        self.table = table
+        self.candidates = candidates
+        self.params = params
+        #: data-path decisions that deviated from the DET port.
+        self.diverted = 0
+        #: data-path decisions total (policies that route adaptively).
+        self.routed = 0
+
+    # -- data path -----------------------------------------------------
+    def route(self, port, pkt) -> int:
+        """Output port for ``pkt`` at input ``port`` (the hot path)."""
+        cands = None if self.candidates is None else self.candidates.get(pkt.dst)
+        if cands is None or len(cands) < 2:
+            return self.table.lookup(pkt.dst)
+        out = self.select_output(port.switch, pkt, cands)
+        self.routed += 1
+        if out != self.table.lookup(pkt.dst):
+            self.diverted += 1
+        return out
+
+    def route_for(self, port) -> Callable[[Any], int]:
+        """A specialised per-port route callable; installed over
+        ``InputPort.route`` by ``Switch.__init__`` so the per-packet
+        dispatch cost matches the pre-policy direct table lookup."""
+        return lambda pkt: self.route(port, pkt)
+
+    def select_output(self, switch, pkt, candidates: Tuple[int, ...]) -> int:
+        """Pick one output port from ``candidates`` (len >= 2)."""
+        raise NotImplementedError
+
+    # -- control plane -------------------------------------------------
+    def control_port(self, dst: int) -> int:
+        """The stable per-destination port the congestion-tree protocol
+        anchors on (CAM announcements, root-CFQ hot marks, BECN
+        forwarding): always the deterministic table port."""
+        return self.table.lookup(dst)
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe state for watchdog diagnostics."""
+        return {
+            "policy": self.name,
+            "switch": self.table.switch_id,
+            "routed": self.routed,
+            "diverted": self.diverted,
+        }
+
+    def audit(self) -> None:
+        """Invariant sweep hook (:mod:`repro.sim.guard`): every
+        candidate set must be non-empty and contain the DET port, so
+        any adaptive choice stays on a minimal (loop-free) path."""
+        if self.candidates is None:
+            return
+        for dst, cands in self.candidates.items():
+            if not cands:
+                raise TopologyError(
+                    f"switch {self.table.switch_id}: empty candidate set "
+                    f"for destination {dst}"
+                )
+            if dst in self.table and self.table.lookup(dst) not in cands:
+                raise TopologyError(
+                    f"switch {self.table.switch_id}: DET port "
+                    f"{self.table.lookup(dst)} for destination {dst} is "
+                    f"not a minimal candidate {cands}"
+                )
+
+
+class DetRoutingPolicy(RoutingPolicy):
+    """The paper's deterministic table-based DET routing, behind the
+    policy API.  Byte-identical to the pre-policy switch: the data
+    path is exactly one table lookup."""
+
+    name = "det"
+
+    def route(self, port, pkt) -> int:
+        return self.table.lookup(pkt.dst)
+
+    def route_for(self, port) -> Callable[[Any], int]:
+        lookup = self.table.lookup
+        return lambda pkt: lookup(pkt.dst)
+
+    def select_output(self, switch, pkt, candidates: Tuple[int, ...]) -> int:
+        return self.table.lookup(pkt.dst)
+
+
+def _mix(a: int, b: int) -> int:
+    """Deterministic 64-bit integer mix (splitmix64 finaliser) — NOT
+    Python ``hash()``, whose per-process randomisation would make ECMP
+    placement differ between runs and cache entries."""
+    x = (a * 0x9E3779B97F4A7C15 + b) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class EcmpRoutingPolicy(RoutingPolicy):
+    """Oblivious multipath: a deterministic hash of (src, dst) picks
+    one minimal candidate per flow, spreading distinct flows across
+    the upward links while keeping every flow on a single path (no
+    reordering)."""
+
+    name = "ecmp"
+
+    def select_output(self, switch, pkt, candidates: Tuple[int, ...]) -> int:
+        return candidates[_mix(pkt.src, pkt.dst) % len(candidates)]
+
+
+class AdaptiveRoutingPolicy(RoutingPolicy):
+    """Least-occupied minimal candidate, judged by local state only
+    (what real adaptive switches can see): the downstream input
+    buffer's occupancy — fresh under send-time credit reservation, see
+    :mod:`repro.network.link` — plus the bytes still serialising on
+    this switch's own output link.  Lowest port wins ties, so the
+    choice is deterministic for a fixed simulation state."""
+
+    name = "adaptive"
+
+    def select_output(self, switch, pkt, candidates: Tuple[int, ...]) -> int:
+        best = candidates[0]
+        best_score = None
+        now = switch.sim.now
+        output_ports = switch.output_ports
+        for out in candidates:
+            link = output_ports[out].link_out
+            if link is None:
+                continue
+            # bytes committed to the far buffer (credit view) ...
+            occupancy = getattr(link.rx, "occupancy", None)
+            score = float(occupancy()) if occupancy is not None else 0.0
+            # ... plus our own serialisation backlog on that link.
+            backlog = link.busy_until - now
+            if backlog > 0.0:
+                score += backlog * link.bandwidth
+            if best_score is None or score < best_score:
+                best, best_score = out, score
+        return best
+
+
+class FlowletRoutingPolicy(AdaptiveRoutingPolicy):
+    """Flowlet switching (Harvard CS145 design): a flow keeps its port
+    while packets arrive within ``CCParams.flowlet_gap`` ns of each
+    other; an idle gap longer than that ends the flowlet and the next
+    packet re-selects adaptively.  Bursts stay in order on one path;
+    path choice still tracks congestion at flowlet granularity."""
+
+    name = "flowlet"
+
+    #: default idle gap (ns) when no params are supplied.
+    DEFAULT_GAP = 50_000.0
+
+    def __init__(self, table, candidates=None, params=None) -> None:
+        super().__init__(table, candidates, params)
+        self.gap = getattr(params, "flowlet_gap", self.DEFAULT_GAP)
+        #: (src, dst) -> [last_seen_ns, port]
+        self._flows: Dict[Tuple[int, int], list] = {}
+        self.flowlets = 0
+
+    def select_output(self, switch, pkt, candidates: Tuple[int, ...]) -> int:
+        now = switch.sim.now
+        key = (pkt.src, pkt.dst)
+        rec = self._flows.get(key)
+        if rec is not None and now - rec[0] <= self.gap and rec[1] in candidates:
+            rec[0] = now
+            return rec[1]
+        out = AdaptiveRoutingPolicy.select_output(self, switch, pkt, candidates)
+        self._flows[key] = [now, out]
+        self.flowlets += 1
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        snap = super().snapshot()
+        snap["flowlets"] = self.flowlets
+        snap["gap_ns"] = self.gap
+        return snap
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+class RoutingPolicySpec:
+    """A registered routing policy: name + per-switch factory.
+
+    ``factory(table=..., candidates=..., params=...)`` returns one
+    :class:`RoutingPolicy` per switch.  ``needs_candidates`` lets the
+    fabric builder skip computing the topology's candidate index for
+    purely deterministic policies (it is never built for ``det``).
+    """
+
+    __slots__ = ("name", "factory", "needs_candidates", "description")
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[..., RoutingPolicy],
+        needs_candidates: bool = True,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.factory = factory
+        self.needs_candidates = needs_candidates
+        self.description = description
+
+    def build(self, *, table, candidates=None, params=None) -> RoutingPolicy:
+        return self.factory(table=table, candidates=candidates, params=params)
+
+
+#: the live routing-policy registry (name -> spec), iterated in
+#: registration order so ``det`` comes first.
+ROUTING_POLICIES: Dict[str, RoutingPolicySpec] = {}
+
+
+def register_policy(spec: RoutingPolicySpec, *, replace: bool = False) -> RoutingPolicySpec:
+    """Add ``spec`` to the registry; the CLI ``--routing`` flag, the
+    sweep engine and ``build_fabric`` discover it immediately.
+
+    Raises ``ValueError`` on a duplicate name unless ``replace=True``.
+    Returns the spec so modules can register at import time, exactly
+    like :func:`repro.core.ccfit.register_scheme`.
+    """
+    if not spec.name:
+        raise ValueError("routing policy name must be non-empty")
+    if spec.name in ROUTING_POLICIES and not replace:
+        raise ValueError(
+            f"routing policy {spec.name!r} is already registered "
+            f"(pass replace=True to shadow it)"
+        )
+    ROUTING_POLICIES[spec.name] = spec
+    return spec
+
+
+def get_policy(name: str) -> RoutingPolicySpec:
+    """Look up a registered routing policy by name (KeyError with the
+    known names on a miss)."""
+    try:
+        return ROUTING_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown routing policy {name!r}; choose from "
+            f"{sorted(ROUTING_POLICIES)}"
+        ) from None
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Currently registered routing policy names, registration order."""
+    return tuple(ROUTING_POLICIES)
+
+
+register_policy(RoutingPolicySpec(
+    "det", DetRoutingPolicy, needs_candidates=False,
+    description="table-based deterministic DET (the paper's routing)",
+))
+register_policy(RoutingPolicySpec(
+    "ecmp", EcmpRoutingPolicy,
+    description="deterministic (src,dst)-hash over the minimal candidates",
+))
+register_policy(RoutingPolicySpec(
+    "adaptive", AdaptiveRoutingPolicy,
+    description="least-occupied minimal candidate by local queue/credit state",
+))
+register_policy(RoutingPolicySpec(
+    "flowlet", FlowletRoutingPolicy,
+    description="adaptive per flowlet: re-select only after an idle gap",
+))

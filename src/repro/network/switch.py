@@ -48,7 +48,7 @@ from repro.network.packet import (
     Packet,
 )
 from repro.network.queueing import CongestionControlScheme
-from repro.network.routing import RoutingTable
+from repro.network.routing import DetRoutingPolicy, RoutingPolicy, RoutingTable
 from repro.sim.engine import Simulator
 
 __all__ = ["Switch", "InputPort", "OutputPort"]
@@ -92,7 +92,11 @@ class InputPort:
 
     # -- PortHost / IsolationHost ----------------------------------------
     def route(self, pkt: Packet) -> int:
-        return self.switch.routing.lookup(pkt.dst)
+        # Generic fallback; Switch.__init__ shadows this per instance
+        # with the policy's specialised callable (RoutingPolicy.route_for)
+        # so the per-packet dispatch cost matches the pre-policy direct
+        # table lookup.
+        return self.switch.policy.route(self, pkt)
 
     def kick(self) -> None:
         self.switch.kick()
@@ -111,11 +115,13 @@ class InputPort:
             self.link_in.send_reverse_control(msg)
 
     def announced_tree(self, dest: int) -> Optional[OutputCamLine]:
-        out = self.switch.routing.lookup(dest)
+        # Congestion-tree state anchors on the policy's stable control
+        # port (the DET port) even when the data path adapts.
+        out = self.switch.policy.control_port(dest)
         return self.switch.output_ports[out].out_cam.lookup(dest)
 
     def root_cfq_hot_changed(self, dest: int, hot: bool) -> None:
-        out = self.switch.routing.lookup(dest)
+        out = self.switch.policy.control_port(dest)
         self.switch.output_ports[out].set_hot((self.index, "root", dest), hot)
 
     # -- link receiver endpoint -------------------------------------------
@@ -187,7 +193,11 @@ class Switch:
     num_ports:
         Radix (bidirectional ports; one InputPort + one OutputPort each).
     routing:
-        The destination → output-port table for this switch.
+        This switch's :class:`repro.network.routing.RoutingPolicy`.
+        Passing a bare :class:`~repro.network.routing.RoutingTable` is
+        deprecated but still works: it is auto-wrapped in the ``det``
+        policy (with a :class:`DeprecationWarning`), so pre-policy
+        callers and old pickled jobs keep running.
     params:
         CC parameters (thresholds, CFQ counts, marking).
     scheme_factory:
@@ -212,7 +222,7 @@ class Switch:
         sim: Simulator,
         name: str,
         num_ports: int,
-        routing: RoutingTable,
+        routing: "RoutingPolicy | RoutingTable",
         params: CCParams,
         scheme_factory: Callable[[InputPort], CongestionControlScheme],
         marker: Optional[MarkingPolicy] = None,
@@ -221,7 +231,21 @@ class Switch:
         self.sim = sim
         self.name = name
         self.num_ports = num_ports
-        self.routing = routing
+        if isinstance(routing, RoutingTable):
+            import warnings
+
+            warnings.warn(
+                "Switch(routing=RoutingTable) is deprecated; pass a "
+                "RoutingPolicy (the table was auto-wrapped in the 'det' "
+                "policy)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            routing = DetRoutingPolicy(routing)
+        self.policy: RoutingPolicy = routing
+        #: the policy's deterministic table (back-compat attribute; the
+        #: pre-policy switch exposed the RoutingTable here).
+        self.routing = routing.table
         self.params = params
         self.crossbar_bw = crossbar_bw
         self.marker = marker
@@ -229,6 +253,11 @@ class Switch:
         self.output_ports = [OutputPort(self, i) for i in range(num_ports)]
         for port in self.input_ports:
             port.scheme = scheme_factory(port)
+            # Shadow the generic InputPort.route with the policy's
+            # specialised callable: for det this is a closure over
+            # table.lookup, making the hot path cost what it did before
+            # the policy layer existed (gated by `repro perf --routing`).
+            port.route = routing.route_for(port)
         self.arbiter = ISlip(num_ports, num_ports, params.islip_iterations)
         #: arbitration slot (ns); resolved by the fabric builder when
         #: params.match_quantum is the -1 auto sentinel.  0 = match
@@ -386,7 +415,7 @@ class Switch:
     # ------------------------------------------------------------------
     def forward_control(self, msg: ControlMessage) -> None:
         if isinstance(msg, Becn):
-            out = self.routing.lookup(msg.dst)
+            out = self.policy.control_port(msg.dst)
             link = self.output_ports[out].link_out
             if link is not None:
                 link.send_control(msg)
@@ -434,4 +463,9 @@ class Switch:
                     },
                 }
             )
-        return {"switch": self.name, "inputs": inputs, "outputs": outputs}
+        return {
+            "switch": self.name,
+            "routing": self.policy.snapshot(),
+            "inputs": inputs,
+            "outputs": outputs,
+        }

@@ -72,6 +72,12 @@ class Topology:
     _port_index: Optional[Dict[Tuple[int, int], Tuple[str, int, int]]] = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: lazily built (switch, dst) -> minimal-output-candidate index
+    #: backing :meth:`candidates` (adaptive routing); never built when
+    #: only deterministic routing runs.
+    _candidate_index: Optional[Dict[Tuple[int, int], Tuple[int, ...]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def effective_crossbar_bw(self) -> float:
         """Resolve :attr:`crossbar_bw`, defaulting to the fastest link."""
@@ -113,8 +119,99 @@ class Topology:
         return index
 
     def invalidate_port_index(self) -> None:
-        """Drop the cached port index (after in-place wiring edits)."""
+        """Drop the cached port/candidate indexes (after in-place
+        wiring edits)."""
         self._port_index = None
+        self._candidate_index = None
+
+    # ------------------------------------------------------------------
+    # minimal-path output candidates (adaptive routing)
+    # ------------------------------------------------------------------
+    def candidates(self, switch_id: int, dst: int) -> Tuple[int, ...]:
+        """Every output port of ``switch_id`` on a *minimal* path to
+        node ``dst``, sorted ascending.
+
+        Computed from per-destination BFS distances over the switch
+        graph: a port qualifies when its neighbour switch is strictly
+        closer to the destination's attach switch (or when it is the
+        destination's own attach port).  Any walk that only crosses
+        such ports monotonically decreases the remaining distance, so
+        adaptive policies choosing among candidates are loop-free by
+        construction.  On a k-ary n-tree this yields exactly the DET
+        structure the paper assumes: all ``k`` up-ports while
+        ascending, the unique down port while descending — the
+        "upward candidate set" of Rocher-Gonzalez et al.
+
+        Raises :class:`TopologyError` when ``dst`` is unreachable from
+        ``switch_id``.  The index is built lazily on first use and
+        cached; call :meth:`invalidate_port_index` after editing the
+        wiring in place.
+        """
+        index = self._candidate_index
+        if index is None:
+            index = self._candidate_index = self._build_candidate_index()
+        try:
+            return index[(switch_id, dst)]
+        except KeyError:
+            raise TopologyError(
+                f"switch {switch_id} has no minimal-path candidates for "
+                f"destination {dst}"
+            ) from None
+
+    def candidate_map(self, switch_id: int) -> Dict[int, Tuple[int, ...]]:
+        """``dst -> candidate ports`` for one switch (the per-switch
+        slice of :meth:`candidates`, handed to routing policies)."""
+        index = self._candidate_index
+        if index is None:
+            index = self._candidate_index = self._build_candidate_index()
+        return {
+            dst: ports for (sw, dst), ports in index.items() if sw == switch_id
+        }
+
+    def _build_candidate_index(self) -> Dict[Tuple[int, int], Tuple[int, ...]]:
+        # Same adjacency + per-destination backward BFS as
+        # repro.network.routing.build_routing, but keeping *every*
+        # distance-decreasing port instead of the lowest one.
+        adj: Dict[int, List[Tuple[int, str, int]]] = {s.id: [] for s in self.switches}
+        for nid, (sw, p, _bw) in self.node_attach.items():
+            adj[sw].append((p, "node", nid))
+        for a, pa, b, pb, _bw in self.switch_links:
+            adj[a].append((pa, "switch", b))
+            adj[b].append((pb, "switch", a))
+        for ports in adj.values():
+            ports.sort()
+
+        from collections import deque
+
+        index: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        far = 1 << 30
+        for dst in range(self.num_nodes):
+            dst_sw, _dst_port, _bw = self.node_attach[dst]
+            dist = {dst_sw: 0}
+            frontier = deque([dst_sw])
+            while frontier:
+                sw = frontier.popleft()
+                for _p, kind, other in adj[sw]:
+                    if kind == "switch" and other not in dist:
+                        dist[other] = dist[sw] + 1
+                        frontier.append(other)
+            for sw, ports in adj.items():
+                if sw not in dist:
+                    continue  # unreachable: lookup raises TopologyError
+                if sw == dst_sw:
+                    cands = tuple(
+                        p for p, kind, other in ports if kind == "node" and other == dst
+                    )
+                else:
+                    here = dist[sw]
+                    cands = tuple(
+                        p
+                        for p, kind, other in ports
+                        if kind == "switch" and dist.get(other, far) == here - 1
+                    )
+                if cands:
+                    index[(sw, dst)] = cands
+        return index
 
     def path(self, src: int, dst: int) -> List[Tuple[int, int]]:
         """Follow the routing tables from ``src`` to ``dst``.

@@ -26,7 +26,11 @@ track regressions:
 A third measurement, :func:`telemetry_overhead`, gates the telemetry
 subsystem (:mod:`repro.telemetry`): one cell with and without the
 sampler attached, reporting the wall-clock penalty and verifying the
-serialised results are byte-identical either way.
+serialised results are byte-identical either way.  A fourth,
+:func:`routing_dispatch_overhead`, gates the routing-policy layer
+(:mod:`repro.network.routing`): the det policy's per-packet dispatch
+must stay within :data:`ROUTING_GATE_PCT` of the pre-policy direct
+table lookup (CI asserts this).
 
 ``--profile`` additionally runs one case under :mod:`cProfile` and
 prints the top functions by cumulative time.  See docs/performance.md.
@@ -46,9 +50,15 @@ __all__ = [
     "bench_case",
     "subsystem_counts",
     "telemetry_overhead",
+    "routing_dispatch_overhead",
     "run_perf",
     "write_report",
 ]
+
+#: the routing-policy indirection budget: the det policy's per-packet
+#: dispatch must stay within this percentage of the pre-policy direct
+#: table lookup (docs/routing.md; asserted by CI).
+ROUTING_GATE_PCT = 5.0
 
 #: qualname prefix -> subsystem label for the event histogram.
 SUBSYSTEM_PREFIXES = (
@@ -200,6 +210,7 @@ def bench_case(
     kernel: str,
     time_scale: float,
     seed: int,
+    routing: str = "det",
     profile_counts: bool = True,
 ) -> Dict[str, Any]:
     """Run one figure cell on ``kernel`` and report events/s plus the
@@ -215,7 +226,8 @@ def bench_case(
 
     t0 = time.perf_counter()
     result = run_case(
-        case, scheme=scheme, time_scale=time_scale, seed=seed, sim_factory=factory
+        case, scheme=scheme, time_scale=time_scale, seed=seed,
+        routing=routing, sim_factory=factory,
     )
     wall = time.perf_counter() - t0
     sim = sims[-1]
@@ -223,6 +235,7 @@ def bench_case(
         "case": case,
         "scheme": scheme,
         "kernel": kernel,
+        "routing": routing,
         "time_scale": time_scale,
         "seed": seed,
         "events": sim.events_dispatched,
@@ -298,6 +311,88 @@ def telemetry_overhead(
     }
 
 
+class _RouteStubPacket:
+    __slots__ = ("dst",)
+
+    def __init__(self, dst: int) -> None:
+        self.dst = dst
+
+
+class _SeedSwitchStub:
+    __slots__ = ("routing",)
+
+    def __init__(self, table) -> None:
+        self.routing = table
+
+
+class _SeedPortStub:
+    """The pre-policy dispatch shape: ``route`` is a class-level method
+    doing one attribute walk plus the table lookup — exactly what
+    ``InputPort.route`` compiled to before the policy layer."""
+
+    __slots__ = ("switch",)
+
+    def __init__(self, switch) -> None:
+        self.switch = switch
+
+    def route(self, pkt) -> int:
+        return self.switch.routing.lookup(pkt.dst)
+
+
+def routing_dispatch_overhead(
+    n_calls: int = 200_000,
+    repeats: int = 5,
+    gate_pct: float = ROUTING_GATE_PCT,
+) -> Dict[str, Any]:
+    """Measure the det routing policy's per-packet dispatch cost against
+    the pre-policy direct table lookup (the seed's ``InputPort.route``
+    method), and gate it at ``gate_pct`` percent.
+
+    The policy layer installs a per-port closure
+    (:meth:`~repro.network.routing.DetRoutingPolicy.route_for`) instead
+    of dispatching through ``switch.policy.route``, precisely so this
+    number stays near zero; CI asserts ``ok``.  Best-of-``repeats``
+    walls on both shapes, interleaved so neither side benefits from
+    cache warm-up order.
+    """
+    from repro.network.routing import DetRoutingPolicy, RoutingTable
+
+    table = RoutingTable(0, {dst: dst % 8 for dst in range(64)})
+    seed_port = _SeedPortStub(_SeedSwitchStub(table))
+    policy_port = _SeedPortStub(_SeedSwitchStub(table))
+    # shadow the method exactly like Switch.__init__ does — but the stub
+    # has __slots__, so route the closure through a local instead.
+    policy_route = DetRoutingPolicy(table).route_for(policy_port)
+    seed_route = seed_port.route
+    pkts = [_RouteStubPacket(i % 64) for i in range(512)]
+
+    def measure(route) -> float:
+        best = float("inf")
+        loops = max(1, n_calls // len(pkts))
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(loops):
+                for pkt in pkts:
+                    route(pkt)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    # warm both shapes once, then time them back to back
+    measure(seed_route)
+    measure(policy_route)
+    seed_s = measure(seed_route)
+    policy_s = measure(policy_route)
+    overhead = 100.0 * (policy_s / seed_s - 1.0) if seed_s > 0 else 0.0
+    return {
+        "calls": max(1, n_calls // len(pkts)) * len(pkts),
+        "seed_s": seed_s,
+        "policy_s": policy_s,
+        "overhead_pct": overhead,
+        "gate_pct": gate_pct,
+        "ok": overhead <= gate_pct,
+    }
+
+
 def cprofile_case(
     case: str,
     scheme: str,
@@ -340,8 +435,11 @@ def run_perf(
     micro_events: int = 300_000,
     micro_repeats: int = 3,
     telemetry_interval: float = 100_000.0,
+    routing: str = "det",
 ) -> Dict[str, Any]:
-    """Assemble the full ``BENCH_engine.json`` payload."""
+    """Assemble the full ``BENCH_engine.json`` payload.  ``routing``
+    selects the policy the case benchmarks run under; the routing
+    dispatch gate (:func:`routing_dispatch_overhead`) always runs."""
     kernels = tuple(kernels)
     micro = {k: dispatch_microbench(k, n_events=micro_events, repeats=micro_repeats) for k in kernels}
     report: Dict[str, Any] = {
@@ -351,6 +449,7 @@ def run_perf(
     }
     if "bucket" in micro and "heap" in micro:
         report["speedup"] = micro["bucket"]["events_per_s"] / micro["heap"]["events_per_s"]
+    report["routing"] = routing_dispatch_overhead(repeats=max(3, micro_repeats))
     for case in cases:
         for scheme in schemes:
             for kernel in kernels:
@@ -361,6 +460,7 @@ def run_perf(
                         kernel=kernel,
                         time_scale=time_scale,
                         seed=seed,
+                        routing=routing,
                     )
                 )
     report["telemetry"] = [
@@ -396,9 +496,17 @@ def render_report(report: Dict[str, Any]) -> str:
         )
     if "speedup" in report:
         lines.append(f"bucket vs heap dispatch speedup: {report['speedup']:.2f}x")
-    for row in report.get("cases", []):
+    gate = report.get("routing")
+    if gate:
         lines.append(
-            f"{row['case']}/{row['scheme']} [{row['kernel']}]: "
+            f"routing det-policy dispatch: {gate['overhead_pct']:+.1f}% vs "
+            f"direct table lookup (gate {gate['gate_pct']:.0f}%): "
+            f"{'ok' if gate['ok'] else 'FAIL'}"
+        )
+    for row in report.get("cases", []):
+        tag = f"@{row['routing']}" if row.get("routing", "det") != "det" else ""
+        lines.append(
+            f"{row['case']}/{row['scheme']}{tag} [{row['kernel']}]: "
             f"{row['events_per_s'] / 1e3:.0f} k events/s "
             f"({row['events']} events, {row['wall_s']:.2f} s wall)"
         )

@@ -192,8 +192,13 @@ class FabricGuard:
 
     def _check_ports(self, out: List[str]) -> None:
         """Credit/buffer conservation and CFQ/CAM consistency at every
-        switch input port."""
+        switch input port, plus the routing policy's own audit (every
+        candidate set minimal and non-empty)."""
         for sw in self.fabric.switches:
+            try:
+                sw.policy.audit()
+            except Exception as exc:  # TopologyError
+                out.append(f"{sw.name}: {exc}")
             reading: Dict[int, int] = {}
             for op in sw.output_ports:
                 if op.current is not None:

@@ -129,6 +129,35 @@ class TestCliTelemetry:
         assert rc == 2
         assert "unknown" in capsys.readouterr().err
 
+    def test_scheme_names_match_case_insensitively(self, capsys):
+        """The acceptance command spells it `--scheme ccfit`."""
+        assert main(["--scale", "0.05", "case", "1", "--scheme", "ccfit"]) == 0
+        assert "scheme CCFIT" in capsys.readouterr().out
+
+    def test_case_runs_under_adaptive_routing(self, capsys):
+        rc = main(["--scale", "0.05", "case", "1", "--scheme", "CCFIT",
+                   "--routing", "adaptive"])
+        assert rc == 0
+        assert "scheme CCFIT" in capsys.readouterr().out
+
+    def test_unknown_routing_policy_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["case", "1", "--routing", "adaptve"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "adaptve" in err and "did you mean" in err and "adaptive" in err
+
+    def test_single_cell_commands_reject_routing_lists(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["case", "1", "--routing", "det,adaptive"])
+        assert exc.value.code == 2
+        assert "single --routing" in capsys.readouterr().err
+
+    def test_sweep_list_shows_routing_grid(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "routing_grid" in out and "flowlet" in out
+
 
 class TestCliErrors:
     def test_unknown_subcommand_gets_did_you_mean(self, capsys):

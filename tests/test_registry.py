@@ -101,8 +101,9 @@ class TestCliWiring:
         assert main(["case", "1", "--scheme", "CCFTI"]) == 2
         err = capsys.readouterr().err
         assert "did you mean CCFIT" in err
-        assert main(["sweep", "fig9", "--schemes", "CCFIT,ITH"]) == 2
-        assert "unknown scheme 'ITH'" in capsys.readouterr().err
+        # names match case-insensitively, so "ITH" is ITh, not a typo
+        assert main(["sweep", "fig9", "--schemes", "CCFIT,ITx"]) == 2
+        assert "unknown scheme 'ITx'" in capsys.readouterr().err
 
     def test_engine_options_both_positions(self):
         from repro.cli import build_parser

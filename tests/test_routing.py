@@ -3,7 +3,7 @@
 import pytest
 
 from repro.network.routing import RoutingTable, build_routing
-from repro.network.topology import config1_adhoc, k_ary_n_tree
+from repro.network.topology import TopologyError, config1_adhoc, k_ary_n_tree
 
 
 def test_routing_table_lookup():
@@ -15,10 +15,15 @@ def test_routing_table_lookup():
     assert len(rt) == 7
 
 
-def test_lookup_unroutable_raises_keyerror():
-    rt = RoutingTable(0, {0: 0})
-    with pytest.raises(KeyError):
+def test_lookup_unroutable_raises_topology_error():
+    """A miss is a topology bug, not a dict accident: the error names
+    the switch and the destination instead of a bare KeyError."""
+    rt = RoutingTable(3, {0: 0})
+    with pytest.raises(TopologyError) as exc_info:
         rt.lookup(99)
+    message = str(exc_info.value)
+    assert "switch 3" in message
+    assert "99" in message
 
 
 def test_bfs_routes_deliver_on_config1():

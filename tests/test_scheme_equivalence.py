@@ -45,6 +45,29 @@ def test_cell_matches_golden(cell, kernel):
     assert digest == gold["sha256"], f"{cell} canonical JSON differs on {kernel}"
 
 
+@pytest.mark.parametrize("kernel", META["kernels"])
+def test_det_policy_is_the_golden_reference(kernel):
+    """Explicit ``routing="det"`` (the policy-layer path, not the
+    default-resolution path) reproduces the pre-policy golden bytes —
+    on both kernels — proving the RoutingPolicy indirection is
+    invisible to results."""
+    cell = sorted(GOLDEN["cells"])[0]
+    case, scheme = cell.split("/")
+    res = run_case(
+        case,
+        scheme=scheme,
+        time_scale=META["grid"][case],
+        seed=META["seed"],
+        routing="det",
+        sim_factory=lambda: Simulator(kernel=kernel),
+    )
+    gold = GOLDEN["cells"][cell]
+    assert res.to_dict() == gold["result"]
+    assert hashlib.sha256(_canonical(res).encode()).hexdigest() == gold["sha256"]
+    # the det marker itself must not leak into the serialised bytes
+    assert "routing" not in res.to_dict()
+
+
 def test_golden_file_covers_declared_grid():
     """The golden file itself is consistent: one cell per declared
     (case, scheme) pair, each with a digest matching its own result."""
