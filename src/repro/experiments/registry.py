@@ -58,6 +58,7 @@ class Experiment:
         params=None,
         telemetry=None,
         routing: str = "det",
+        kernel=None,
         **overrides,
     ) -> List[SimJob]:
         """Decompose into one :class:`SimJob` per (scheme, routing)
@@ -80,6 +81,7 @@ class Experiment:
                 extra=tuple(sorted(extra.items())),
                 telemetry=telemetry,
                 routing=r,
+                kernel=kernel,
             )
             for s in (schemes if schemes is not None else self.schemes)
             for r in axis
@@ -112,6 +114,7 @@ class Experiment:
             params=params if params is not None else opts.params,
             telemetry=opts.telemetry,
             routing=opts.routing,
+            kernel=opts.kernel,
             **overrides,
         )
         report = run_sweep(jobs, options=opts)

@@ -339,6 +339,7 @@ def run_case(
     seed: Optional[int] = None,
     params: Optional[CCParams] = None,
     routing: Optional[str] = None,
+    kernel: Optional[str] = None,
     options=None,
     **extra,
 ) -> CaseResult:
@@ -360,6 +361,14 @@ def run_case(
     — a :class:`repro.telemetry.TelemetryConfig` attaching the sampler
     (results stay byte-identical; the bundle rides on the result) —
     which otherwise defaults from ``options.telemetry``.
+
+    ``kernel`` names a simulation kernel (``bucket``/``heap``/``batch``,
+    resolved case-insensitively via
+    :func:`repro.sim.engine.resolve_kernel`; unknown names raise
+    ``ValueError`` with a did-you-mean hint).  ``None`` defers to the
+    engine default / ``REPRO_SIM_KERNEL``.  Kernels are byte-identical,
+    so this selects speed, never results.  An explicit ``sim_factory``
+    wins over ``kernel``.
     """
     if case not in _CELLS:
         raise KeyError(f"unknown case {case!r}; choose from {sorted(_CELLS)}")
@@ -378,6 +387,13 @@ def run_case(
         telemetry = getattr(options, "telemetry", None)
         if telemetry is not None:
             extra["telemetry"] = telemetry
+    if kernel is None and options is not None:
+        kernel = getattr(options, "kernel", None)
+    if kernel is not None and extra.get("sim_factory") is None:
+        from repro.sim.engine import Simulator, resolve_kernel
+
+        resolved = resolve_kernel(kernel)
+        extra["sim_factory"] = lambda: Simulator(kernel=resolved)
     return _CELLS[case](
         scheme=scheme, time_scale=time_scale, seed=seed, params=params, routing=routing, **extra
     )

@@ -100,6 +100,11 @@ class SweepOptions:
     #: default routing policy for cells that don't pin one
     #: (docs/routing.md); "det" is the paper's deterministic routing.
     routing: str = "det"
+    #: simulation kernel for cells that don't pin one
+    #: (docs/performance.md); None defers to the engine default /
+    #: ``REPRO_SIM_KERNEL``.  All kernels are byte-identical, so this
+    #: is a speed knob, not a result knob.
+    kernel: Optional[str] = None
     #: worker processes; 1 = serial in-process execution.
     jobs: int = 1
     #: cache directory, or None for no on-disk cache.
@@ -171,16 +176,27 @@ class SimJob:
     #: routing policy the cell runs under (docs/routing.md); "det" is
     #: the paper's deterministic routing.
     routing: str = "det"
+    #: simulation kernel the cell runs on (docs/performance.md); None
+    #: defers to the engine default / ``REPRO_SIM_KERNEL``.  Canonical
+    #: at construction (case-insensitive, did-you-mean on typos).
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.case not in CASE_NAMES:
             raise KeyError(f"unknown case {self.case!r}; choose from {sorted(CASE_NAMES)}")
+        if self.kernel is not None:
+            from repro.sim.engine import resolve_kernel
+
+            object.__setattr__(self, "kernel", resolve_kernel(self.kernel))
 
     def __getattr__(self, name: str) -> Any:
-        # jobs pickled (or journaled) before the routing axis existed
-        # deserialize without the field; they meant deterministic routing.
+        # jobs pickled (or journaled) before the routing/kernel axes
+        # existed deserialize without the fields; they meant
+        # deterministic routing on the default kernel.
         if name == "routing":
             return "det"
+        if name == "kernel":
+            return None
         raise AttributeError(name)
 
     def payload(self) -> Dict[str, Any]:
@@ -188,7 +204,13 @@ class SimJob:
         preimage); see docs/sweep.md for the field inventory.  The
         ``telemetry`` key appears only when telemetry is enabled, and
         the ``routing`` key only for non-default policies, so
-        pre-telemetry / pre-routing cache entries keep their keys."""
+        pre-telemetry / pre-routing cache entries keep their keys.
+
+        ``kernel`` is deliberately **absent**: every kernel produces
+        byte-identical results (the golden-equivalence contract, see
+        docs/performance.md), so a cached bucket-kernel cell may serve
+        a batch-kernel run and vice versa — the kernel is a speed
+        knob, not part of the output's preimage."""
         out = {
             "version": __version__,
             "case": self.case,
@@ -219,6 +241,7 @@ class SimJob:
             params=self.params,
             telemetry=self.telemetry,
             routing=self.routing,
+            kernel=self.kernel,
             **dict(self.extra),
         )
 
@@ -227,6 +250,8 @@ class SimJob:
         base = f"{self.case}/{self.scheme}"
         if self.routing != "det":
             base += f"@{self.routing}"
+        if self.kernel is not None:
+            base += f"#{self.kernel}"
         return base + (f"[{extra}]" if extra else "")
 
 

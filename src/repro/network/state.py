@@ -1,0 +1,314 @@
+"""Struct-of-arrays fabric state for the batch kernel.
+
+The event-driven network model keeps its state where it belongs — on
+``Switch``/``EndNode``/``Link`` objects — which is ideal for per-event
+callbacks but hostile to batch processing: a slot-synchronous sweep
+(:class:`~repro.network.arbiter.SlotArbiter`) or a vectorized analysis
+pass wants flat parallel arrays it can mask and reduce without touching
+a Python object per port.
+
+:class:`FabricState` is that flat mirror: one :meth:`FabricState.capture`
+call walks a built :class:`~repro.network.fabric.Fabric` and lifts the
+hot per-port and per-link quantities (buffer occupancy, crossbar read
+rates, link timers, byte counters, congestion flags) plus the in-flight
+packet headers (dst/size/fecn — §III-A: destination is the only routing
+information a header needs) into numpy arrays (plain ``array`` module
+arrays when numpy is unavailable).  The mirror is a *snapshot*, not a
+live view — re-capture per slot; the object graph stays authoritative,
+which is what keeps the batch kernel byte-identical to the event
+kernels.
+
+The two adapters at the bottom drive the **unmodified** public
+congestion-scheme and routing APIs in batches:
+
+* :class:`BatchSchemeAdapter` turns a switch's per-scheme
+  ``eligible_heads()`` answers (via ``Switch.collect_requests``) into
+  the dense boolean request matrix
+  :meth:`~repro.network.arbiter.ISlip.match_matrix` consumes.
+* :class:`BatchRoutingAdapter` runs one ``RoutingPolicy.route`` lookup
+  per destination in a vector through lightweight header shims, so
+  det/ecmp/adaptive/flowlet all work without growing a batch method.
+
+Nothing here mutates simulation state; CCFIT/FBICM/ITh/RCM and every
+routing policy run exactly the code the event path runs.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.fabric import Fabric
+    from repro.network.switch import Switch
+
+__all__ = ["FabricState", "BatchSchemeAdapter", "BatchRoutingAdapter"]
+
+
+def _f64(values: List[float]):
+    """Float64 parallel array: numpy when available, stdlib otherwise."""
+    if _np is not None:
+        return _np.asarray(values, dtype=_np.float64)
+    return array("d", values)
+
+
+def _i64(values: List[int]):
+    if _np is not None:
+        return _np.asarray(values, dtype=_np.int64)
+    return array("q", values)
+
+
+def _u8(values: List[int]):
+    if _np is not None:
+        return _np.asarray(values, dtype=_np.uint8)
+    return array("B", values)
+
+
+class FabricState:
+    """Flat parallel-array snapshot of a fabric's hot state.
+
+    Ports across all switches share one index space (switch-major,
+    port-minor): port array index ``p`` belongs to switch
+    ``port_switch[p]``, local port ``port_index[p]``.  ``switch_base``
+    maps a switch id to its first port slot, so slicing
+    ``pool_used[switch_base[s]:switch_base[s] + num_ports[s]]`` yields
+    one switch's ports.  In-flight packet headers concatenate every
+    link's ``in_flight`` list, link-major, keyed by ``pkt_link``.
+    """
+
+    __slots__ = (
+        "time",
+        # per-port (switch-major) -----------------------------------
+        "switch_base",
+        "num_ports",
+        "port_switch",
+        "port_index",
+        "pool_used",
+        "pool_capacity",
+        "active_rate",
+        "rr_counter",
+        "congested",
+        # per-link (Fabric.links order) -----------------------------
+        "link_bandwidth",
+        "link_busy_until",
+        "link_bytes_sent",
+        "link_packets_sent",
+        "link_bytes_received",
+        "link_packets_received",
+        # in-flight packet headers (link-major) ---------------------
+        "pkt_link",
+        "pkt_dst",
+        "pkt_size",
+        "pkt_fecn",
+        "pkt_hops",
+    )
+
+    def __init__(self, **fields: Any) -> None:
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    @classmethod
+    def capture(cls, fabric: "Fabric") -> "FabricState":
+        """Snapshot ``fabric`` into parallel arrays at the current time."""
+        switch_base: List[int] = []
+        num_ports: List[int] = []
+        port_switch: List[int] = []
+        port_index: List[int] = []
+        pool_used: List[int] = []
+        pool_capacity: List[int] = []
+        active_rate: List[float] = []
+        rr_counter: List[int] = []
+        congested: List[int] = []
+        for s, sw in enumerate(fabric.switches):
+            switch_base.append(len(port_switch))
+            num_ports.append(sw.num_ports)
+            for port in sw.input_ports:
+                port_switch.append(s)
+                port_index.append(port.index)
+                pool_used.append(port.pool.used)
+                pool_capacity.append(port.pool.capacity)
+                active_rate.append(port.active_rate)
+                rr_counter.append(port.rr_counter)
+            for out in sw.output_ports:
+                congested.append(1 if out.congested else 0)
+
+        link_bandwidth: List[float] = []
+        link_busy_until: List[float] = []
+        link_bytes_sent: List[int] = []
+        link_packets_sent: List[int] = []
+        link_bytes_received: List[int] = []
+        link_packets_received: List[int] = []
+        pkt_link: List[int] = []
+        pkt_dst: List[int] = []
+        pkt_size: List[int] = []
+        pkt_fecn: List[int] = []
+        pkt_hops: List[int] = []
+        for li, link in enumerate(fabric.links):
+            link_bandwidth.append(link.bandwidth)
+            link_busy_until.append(link.busy_until)
+            link_bytes_sent.append(link.bytes_sent)
+            link_packets_sent.append(link.packets_sent)
+            link_bytes_received.append(link.bytes_received)
+            link_packets_received.append(link.packets_received)
+            pkt = link.in_flight  # at most one packet serialises per link
+            if pkt is not None:
+                pkt_link.append(li)
+                pkt_dst.append(pkt.dst)
+                pkt_size.append(pkt.size)
+                pkt_fecn.append(1 if pkt.fecn else 0)
+                pkt_hops.append(pkt.hops)
+
+        return cls(
+            time=fabric.sim.now,
+            switch_base=_i64(switch_base),
+            num_ports=_i64(num_ports),
+            port_switch=_i64(port_switch),
+            port_index=_i64(port_index),
+            pool_used=_i64(pool_used),
+            pool_capacity=_i64(pool_capacity),
+            active_rate=_f64(active_rate),
+            rr_counter=_i64(rr_counter),
+            congested=_u8(congested),
+            link_bandwidth=_f64(link_bandwidth),
+            link_busy_until=_f64(link_busy_until),
+            link_bytes_sent=_i64(link_bytes_sent),
+            link_packets_sent=_i64(link_packets_sent),
+            link_bytes_received=_i64(link_bytes_received),
+            link_packets_received=_i64(link_packets_received),
+            pkt_link=_i64(pkt_link),
+            pkt_dst=_i64(pkt_dst),
+            pkt_size=_i64(pkt_size),
+            pkt_fecn=_u8(pkt_fecn),
+            pkt_hops=_i64(pkt_hops),
+        )
+
+    # -- aggregate views (used by the bench and diagnostics) ------------
+    @property
+    def num_switch_ports(self) -> int:
+        return len(self.port_switch)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.pkt_link)
+
+    def total_buffered_bytes(self) -> int:
+        return int(sum(self.pool_used))
+
+    def congested_ports(self) -> int:
+        return int(sum(self.congested))
+
+    def utilisation(self) -> float:
+        """Fraction of total switch buffer capacity currently reserved."""
+        cap = int(sum(self.pool_capacity))
+        return float(sum(self.pool_used)) / cap if cap else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "time": float(self.time),
+            "ports": float(self.num_switch_ports),
+            "buffered_bytes": float(self.total_buffered_bytes()),
+            "utilisation": self.utilisation(),
+            "congested_ports": float(self.congested_ports()),
+            "in_flight": float(self.in_flight),
+            "bytes_sent": float(sum(self.link_bytes_sent)),
+        }
+
+
+class BatchSchemeAdapter:
+    """Dense request-matrix view over one switch's queue schemes.
+
+    Drives the public ``CongestionControlScheme.eligible_heads()`` API
+    (through ``Switch.collect_requests``, which also applies link and
+    crossbar admission) and exposes the result as the boolean
+    ``(num_ports, num_ports)`` matrix
+    :meth:`~repro.network.arbiter.ISlip.match_matrix` consumes, keeping
+    the ``candidates`` map around for ``Switch.apply_matches``.  The
+    schemes themselves — 1Q/4Q8Q/VOQ, ITh, FBICM, CCFIT, RCM — run
+    unmodified.
+    """
+
+    __slots__ = ("switch", "candidates")
+
+    def __init__(self, switch: "Switch") -> None:
+        self.switch = switch
+        self.candidates: Dict[Tuple[int, int], List[Any]] = {}
+
+    def request_matrix(self):
+        """Collect eligible requests; return the dense bool matrix (or
+        None when no port requests, saving the allocation)."""
+        requests, candidates = self.switch.collect_requests()
+        self.candidates = candidates
+        if not requests:
+            return None
+        n = self.switch.num_ports
+        if _np is not None:
+            matrix = _np.zeros((n, n), dtype=bool)
+            for inp, outs in requests.items():
+                matrix[inp, list(outs)] = True
+            return matrix
+        matrix = [[False] * n for _ in range(n)]
+        for inp, outs in requests.items():
+            row = matrix[inp]
+            for out in outs:
+                row[out] = True
+        return matrix
+
+    def apply(self, matches: Dict[int, int]) -> bool:
+        """Start the matched transmissions (``Switch.apply_matches``)."""
+        return self.switch.apply_matches(matches, self.candidates)
+
+
+class _HeaderShim:
+    """Minimal packet stand-in for batched routing lookups.
+
+    Carries exactly the header fields the routing policies read
+    (``src``, ``dst``, ``flow``, ``size``) so a routing decision for a
+    bare destination vector costs no
+    :class:`~repro.network.packet.Packet` allocation.  Mutable ``dst``
+    lets one shim serve a whole batch.
+    """
+
+    __slots__ = ("src", "dst", "flow", "size")
+
+    def __init__(self) -> None:
+        self.src = 0
+        self.dst = 0
+        self.flow = ""
+        self.size = 0
+
+
+class BatchRoutingAdapter:
+    """Vectorized routing lookups through an unmodified policy.
+
+    Wraps one input port's specialised ``route`` callable (installed by
+    ``RoutingPolicy.route_for``) and maps a destination vector to an
+    output-port vector.  Works with every registered policy —
+    det/ecmp/adaptive/flowlet — because each lookup *is* the policy's
+    own per-packet decision, just driven in a tight loop over header
+    shims instead of one event callback per packet.
+    """
+
+    __slots__ = ("port", "_route", "_shim")
+
+    def __init__(self, port: Any) -> None:
+        self.port = port
+        self._route = port.route
+        self._shim = _HeaderShim()
+
+    def route_many(self, dsts, src: int = 0, flow: str = "", size: int = 0):
+        """Output port for each destination in ``dsts`` (int64 array)."""
+        shim = self._shim
+        shim.src = src
+        shim.flow = flow
+        shim.size = size
+        route = self._route
+        outs = []
+        for dst in dsts:
+            shim.dst = int(dst)
+            outs.append(route(shim))
+        return _i64(outs)

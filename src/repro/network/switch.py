@@ -297,8 +297,22 @@ class Switch:
                 when = max(now, round(k) * q if abs(k - round(k)) < 1e-6 else (now // q + 1.0) * q)
             self.sim.post(when, self._match)
 
-    def _match(self) -> None:
-        self._match_scheduled = False
+    def collect_requests(
+        self,
+    ) -> Tuple[Dict[int, List[int]], Dict[Tuple[int, int], List[Tuple[object, Packet]]]]:
+        """Phase 1 of a matching round: the eligible request sets.
+
+        Asks every idle input port's scheme for its eligible queue heads
+        (the unmodified public
+        :meth:`~repro.network.queueing.CongestionControlScheme.eligible_heads`
+        API), filters by output-link availability, downstream space and
+        crossbar read budget, and returns ``(requests, candidates)``:
+        ``requests`` maps each requesting input to its output list (the
+        arbiter's input), ``candidates`` maps each (input, output) pair
+        to its head-packet choices.  Shared by the event-driven
+        :meth:`_match` and the slot-batched
+        :class:`~repro.network.arbiter.SlotArbiter` driver.
+        """
         if self._min_link_bw is None:
             self._min_link_bw = min(
                 (op.link_out.bandwidth for op in self.output_ports if op.link_out),
@@ -335,6 +349,29 @@ class Switch:
                     cands.append((queue, pkt))
             if outs:
                 requests[pidx] = outs
+        return requests, candidates
+
+    def apply_matches(
+        self,
+        matches: Dict[int, int],
+        candidates: Dict[Tuple[int, int], List[Tuple[object, Packet]]],
+    ) -> bool:
+        """Phase 3 of a matching round: start one transmission per
+        matched (input, output) pair, round-robining among that pair's
+        head-packet candidates.  Returns True when anything started (the
+        caller may immediately arbitrate again: with crossbar headroom
+        an input port can feed several outputs in the same instant)."""
+        for inp, out in matches.items():
+            cands = candidates[(inp, out)]
+            port = self.input_ports[inp]
+            queue, pkt = cands[port.rr_counter % len(cands)]
+            port.rr_counter += 1
+            self._start_transmission(port, self.output_ports[out], queue, pkt)
+        return bool(matches)
+
+    def _match(self) -> None:
+        self._match_scheduled = False
+        requests, candidates = self.collect_requests()
         if not requests:
             return
         if len(requests) == 1:
@@ -344,13 +381,7 @@ class Switch:
             matches = {inp: self.arbiter.match_single(inp, outs)}
         else:
             matches = self.arbiter.match(requests)
-        for inp, out in matches.items():
-            cands = candidates[(inp, out)]
-            port = self.input_ports[inp]
-            queue, pkt = cands[port.rr_counter % len(cands)]
-            port.rr_counter += 1
-            self._start_transmission(port, self.output_ports[out], queue, pkt)
-        if matches:
+        if self.apply_matches(matches, candidates):
             # A port with crossbar headroom left may start a second
             # concurrent read this very instant (iSlip grants one match
             # per input per round) — run another round.

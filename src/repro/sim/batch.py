@@ -1,0 +1,595 @@
+"""Struct-of-arrays batch kernel: slot-synchronous event dispatch.
+
+:class:`BatchSimulator` is the third engine kernel
+(``Simulator(kernel="batch")`` / ``REPRO_SIM_KERNEL=batch``).  It keeps
+the engine's determinism contract — callbacks fire in exactly the same
+``(time, seq)`` order as the bucket and heap kernels, so every
+simulation stays byte-for-byte reproducible — but swaps the per-event
+data structures for flat parallel arrays processed one MTU slot at a
+time:
+
+* **Slot calendar.**  Pending events are appended to five parallel
+  arrays (time / seq / fn / args / handle) keyed by slot index
+  ``int(time / SLOT_NS)`` — a struct-of-arrays layout instead of one
+  entry object per event.  A min-heap of slot indices orders the slots;
+  a slot's arrays are sorted **once**, with a vectorised
+  :func:`numpy.lexsort` on the ``(time, seq)`` columns when the slot is
+  large, at the moment the clock enters it.  Events scheduled into the
+  slot being consumed merge through a small descending-sorted spill
+  list (the same ``_insort_desc`` the bucket kernel uses).
+* **Channels.**  The real win: a homogeneous population of recurring
+  events (every link serialisation tick, every credit return, ...) can
+  be registered as a :class:`BatchChannel` — one float array of
+  next-firing times plus a period.  Each MTU slot the kernel fires the
+  whole due population with a handful of vectorised array operations
+  (compare, masked add) instead of one Python callback per event.
+  Within a slot, **general events fire first, then channels** — the
+  slot-synchronous contract (see docs/performance.md).  Channel
+  firings count toward ``events_dispatched`` and honour ``max_events``
+  exactly (the final slot is cut with a lexsort merge), so
+  ``run(max_events=N)`` dispatches exactly ``N`` events on every
+  kernel.
+
+The production fabric path (:mod:`repro.network.fabric`) schedules only
+general events, so on that path the batch kernel is a drop-in queue
+replacement and results are byte-identical across all three kernels —
+the golden equivalence suite asserts it for every paper scheme and
+routing policy.  The dispatch microbenchmark (:mod:`repro.perf`) drives
+the channel API with the same hop/tx-done/credit event mix as the other
+kernels' chains; that is where the ≥3× dispatch speedup over the
+calendar kernel comes from.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+try:  # numpy is a project dependency; guard anyway so the general
+    import numpy as np  # (non-channel) path still works without it.
+except ImportError:  # pragma: no cover - numpy is baked into the env
+    np = None  # type: ignore[assignment]
+
+from repro.sim.engine import (
+    DEFAULT_BUCKET_NS,
+    DEFAULT_NUM_BUCKETS,
+    Event,
+    SimulationError,
+    Simulator,
+    _insort_desc,
+)
+
+__all__ = ["BatchSimulator", "BatchChannel", "SLOT_NS"]
+
+#: slot width (ns): one MTU serialisation time on the paper's links —
+#: the cadence the switches already coalesce their matching rounds to
+#: (``match_quantum``), so a slot holds one arbitration round's worth
+#: of events.  The value only affects batching granularity, never
+#: dispatch order.
+SLOT_NS = 819.2
+
+#: below this population a plain Python sort beats the list->ndarray
+#: round-trip that :func:`numpy.lexsort` needs.
+_LEXSORT_MIN = 64
+
+_INF = float("inf")
+_NO_LIMIT = 1 << 62
+
+# spill entries are 5-wide lists [time, seq, fn, args, handle]; the
+# engine's ``_insort_desc`` only ever compares elements 0 and 1.
+_S_TIME, _S_SEQ, _S_FN, _S_ARGS, _S_HANDLE = range(5)
+
+
+class BatchChannel:
+    """A vectorised population of identical recurring events.
+
+    ``times`` holds the next firing time of every element; each slot,
+    every element due before the slot end fires and advances by
+    ``period``.  ``fn`` (optional) is an *aggregate* callback invoked
+    once per firing round as ``fn(count, slot_end)`` — there is no
+    per-element Python callback, that is the point.  Equal-time
+    tie-break for the exact ``max_events`` cut is (time, channel
+    registration order, element index).
+    """
+
+    __slots__ = ("sim", "label", "times", "period", "fn", "fired", "_active")
+
+    def __init__(
+        self,
+        sim: "BatchSimulator",
+        times: Any,
+        period: float,
+        fn: Optional[Callable[[int, float], Any]] = None,
+        label: str = "channel",
+    ) -> None:
+        if np is None:  # pragma: no cover - numpy is baked into the env
+            raise SimulationError("batch channels require numpy")
+        if period <= 0:
+            raise SimulationError(f"non-positive channel period {period}")
+        arr = np.array(times, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise SimulationError("channel times must be a non-empty 1-D array")
+        if float(arr.min()) < sim.now:
+            raise SimulationError(
+                f"channel start time {float(arr.min())} < now={sim.now}"
+            )
+        self.sim = sim
+        self.label = label
+        self.times = arr
+        self.period = float(period)
+        self.fn = fn
+        #: total firings — the channel's contribution to
+        #: ``events_dispatched``.
+        self.fired = 0
+        self._active = True
+
+    def cancel(self) -> None:
+        """Deactivate the channel; no further firings."""
+        self._active = False
+
+    def __len__(self) -> int:
+        return int(self.times.size) if self._active else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self._active else "cancelled"
+        return (
+            f"<BatchChannel {self.label!r} n={self.times.size} "
+            f"period={self.period} {state}>"
+        )
+
+
+class BatchSimulator(Simulator):
+    """The struct-of-arrays slot kernel (see module docstring).
+
+    Construct via ``Simulator(kernel="batch")`` — the base class
+    redirects construction here — or directly.  The bucket-geometry
+    parameters are accepted for signature compatibility (validated,
+    otherwise unused: the batch kernel's slot width is the MTU slot).
+    """
+
+    __slots__ = (
+        "_slot_w",
+        "_inv_slot",
+        "_slots",
+        "_slot_heap",
+        "_spill",
+        "_cur_slot",
+        "_cur_times",
+        "_cur_seqs",
+        "_cur_fns",
+        "_cur_argss",
+        "_cur_handles",
+        "_cur_order",
+        "_channels",
+    )
+
+    def __init__(
+        self,
+        kernel: Optional[str] = None,
+        bucket_ns: float = DEFAULT_BUCKET_NS,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        profile: bool = False,
+    ) -> None:
+        super().__init__(
+            kernel="batch" if kernel is None else kernel,
+            bucket_ns=bucket_ns,
+            num_buckets=num_buckets,
+            profile=profile,
+        )
+        if self.kernel != "batch":
+            raise ValueError(
+                f"BatchSimulator only implements kernel='batch', got {self.kernel!r}"
+            )
+        self._slot_w = SLOT_NS
+        self._inv_slot = 1.0 / SLOT_NS
+        #: slot index -> (times, seqs, fns, argss, handles) parallel lists
+        self._slots: dict = {}
+        #: min-heap of pending slot indices
+        self._slot_heap: List[int] = []
+        #: events landing at or behind the slot being consumed, kept
+        #: descending-(time, seq) and popped from the end
+        self._spill: List[list] = []
+        # consumption state of the slot the clock is in
+        self._cur_slot = -1
+        self._cur_times: List[float] = []
+        self._cur_seqs: List[int] = []
+        self._cur_fns: List[Any] = []
+        self._cur_argss: List[Any] = []
+        self._cur_handles: List[Any] = []
+        #: remaining indices into the _cur arrays, descending (time, seq)
+        self._cur_order: List[int] = []
+        self._channels: List[BatchChannel] = []
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _append(self, time: float, seq: int, fn: Any, args: tuple, handle: Any) -> None:
+        i = int(time * self._inv_slot)
+        if i <= self._cur_slot:
+            _insort_desc(self._spill, [time, seq, fn, args, handle])
+            return
+        d = self._slots.get(i)
+        if d is None:
+            d = self._slots[i] = ([], [], [], [], [])
+            heapq.heappush(self._slot_heap, i)
+        d[0].append(time)
+        d[1].append(seq)
+        d[2].append(fn)
+        d[3].append(args)
+        d[4].append(handle)
+
+    def schedule(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at t={time} < now={self.now}")
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, fn, args)
+        ev._sim = self
+        # non-list "still queued" sentinel: cancellation is detected at
+        # dispatch via ``ev.cancelled`` (like the heap kernel) instead
+        # of tombstoning array cells in place.
+        ev._entry = True
+        self._live += 1
+        self._append(time, seq, fn, args, ev)
+        return ev
+
+    def post(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at t={time} < now={self.now}")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        self._append(time, seq, fn, args, None)
+
+    def post_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        self._append(time, seq, fn, args, None)
+
+    def schedule_pair(
+        self,
+        t1: float,
+        fn1: Callable[..., Any],
+        args1: tuple,
+        t2: float,
+        fn2: Callable[..., Any],
+        args2: tuple,
+    ) -> None:
+        if t1 < self.now:
+            raise SimulationError(f"cannot schedule at t={t1} < now={self.now}")
+        if t2 < t1:
+            raise SimulationError(f"chained firing at t={t2} precedes first at t={t1}")
+        seq = self._seq
+        self._seq = seq + 2
+        self._live += 2
+        # both seqs reserved now -> firing order is bit-identical to two
+        # independent schedules, exactly like the other kernels.
+        self._append(t1, seq, fn1, args1, None)
+        self._append(t2, seq + 1, fn2, args2, None)
+
+    def add_channel(
+        self,
+        times: Any,
+        period: float,
+        fn: Optional[Callable[[int, float], Any]] = None,
+        label: str = "channel",
+    ) -> BatchChannel:
+        """Register a vectorised recurring-event population (see
+        :class:`BatchChannel`).  Channel firings count toward
+        ``events_dispatched`` and ``pending()``; a run with active
+        channels needs ``until=`` or ``max_events=`` (the population
+        recurs forever)."""
+        ch = BatchChannel(self, times, period, fn=fn, label=label)
+        self._channels.append(ch)
+        return ch
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _advance_slot(self, max_slot: int) -> bool:
+        """Materialise the earliest pending slot at or below
+        ``max_slot``: sort its parallel arrays into consumption order
+        (vectorised lexsort on (time, seq) for large slots).  False when
+        no such slot remains."""
+        heap = self._slot_heap
+        slots = self._slots
+        while heap:
+            i = heap[0]
+            d = slots.get(i)
+            if d is None:  # stale heap entry (defensive; never expected)
+                heapq.heappop(heap)
+                continue
+            if i > max_slot:
+                return False
+            heapq.heappop(heap)
+            del slots[i]
+            times, seqs, fns, argss, handles = d
+            n = len(times)
+            if np is not None and n >= _LEXSORT_MIN:
+                order = np.lexsort((seqs, times))[::-1].tolist()
+            else:
+                order = sorted(
+                    range(n), key=lambda j: (times[j], seqs[j]), reverse=True
+                )
+            self._cur_times = times
+            self._cur_seqs = seqs
+            self._cur_fns = fns
+            self._cur_argss = argss
+            self._cur_handles = handles
+            self._cur_order = order
+            self._cur_slot = i
+            return True
+        return False
+
+    def _dispatch_general(
+        self, until_f: float, max_slot: int, t_lt: float, limit: int
+    ) -> tuple:
+        """Dispatch array-stored events in (time, seq) order, bounded by
+        ``until_f`` (inclusive), ``t_lt`` (exclusive), slots up to
+        ``max_slot``, and at most ``limit`` events.  Returns
+        ``(dispatched, hit_until)``."""
+        spill = self._spill
+        counts = self.event_counts
+        dispatched = 0
+        hit_until = False
+        while dispatched < limit:
+            order = self._cur_order
+            e = spill[-1] if spill else None
+            if order:
+                j = order[-1]
+                t = self._cur_times[j]
+                if e is not None and (
+                    e[0] < t or (e[0] == t and e[1] < self._cur_seqs[j])
+                ):
+                    from_spill = True
+                    t = e[0]
+                else:
+                    from_spill = False
+            elif e is not None:
+                from_spill = True
+                t = e[0]
+            else:
+                if self._advance_slot(max_slot):
+                    continue
+                break
+            if t >= t_lt:
+                break
+            if t > until_f:
+                hit_until = True
+                break
+            if from_spill:
+                spill.pop()
+                fn = e[_S_FN]
+                a = e[_S_ARGS]
+                h = e[_S_HANDLE]
+            else:
+                order.pop()
+                fn = self._cur_fns[j]
+                a = self._cur_argss[j]
+                h = self._cur_handles[j]
+            if h is not None:
+                if h.cancelled:
+                    continue  # cancel() already debited _live
+                h._entry = None  # detach: a late cancel() is a no-op
+            self.now = t
+            dispatched += 1
+            if counts is not None:
+                key = getattr(fn, "__qualname__", None) or repr(fn)
+                counts[key] = counts.get(key, 0) + 1
+            if a:
+                fn(*a)
+            else:
+                fn()
+        return dispatched, hit_until
+
+    def _peek_general_slot(self) -> Optional[int]:
+        """Filed slot index of the next pending general event (an upper
+        bound when only spill entries remain), or None when empty."""
+        if self._cur_order or self._spill:
+            return self._cur_slot
+        heap = self._slot_heap
+        slots = self._slots
+        while heap and heap[0] not in slots:  # defensive staleness sweep
+            heapq.heappop(heap)
+        return heap[0] if heap else None
+
+    def _fire_channels(
+        self, channels: List[BatchChannel], slot_end: float, until_f: float, budget: int
+    ) -> int:
+        """Fire every channel element due before ``slot_end`` (and at or
+        before ``until_f``), in rounds, honouring ``budget`` exactly.
+        Returns the number of firings."""
+        fired_total = 0
+        while fired_total < budget:
+            masks = []
+            total_due = 0
+            for ch in channels:
+                m = ch.times < slot_end
+                if until_f != _INF:
+                    m &= ch.times <= until_f
+                masks.append(m)
+                total_due += int(m.sum())
+            if total_due == 0:
+                break
+            if total_due <= budget - fired_total:
+                t_max = -_INF
+                for ch, m in zip(channels, masks):
+                    n = int(m.sum())
+                    if not n:
+                        continue
+                    tm = float(ch.times[m].max())
+                    if tm > t_max:
+                        t_max = tm
+                    np.add(ch.times, ch.period, out=ch.times, where=m)
+                    ch.fired += n
+                    if ch.fn is not None:
+                        ch.fn(n, slot_end)
+                fired_total += total_due
+                if t_max > self.now:
+                    self.now = t_max
+            else:
+                # exact cut: take the budget-smallest firings by
+                # (time, channel order, element index) so max_events
+                # stops on an exact event boundary like every kernel.
+                cut = budget - fired_total
+                parts_t, parts_c, parts_e = [], [], []
+                for ci, (ch, m) in enumerate(zip(channels, masks)):
+                    idx = np.nonzero(m)[0]
+                    if idx.size:
+                        parts_t.append(ch.times[idx])
+                        parts_c.append(np.full(idx.size, ci, dtype=np.int64))
+                        parts_e.append(idx)
+                T = np.concatenate(parts_t)
+                C = np.concatenate(parts_c)
+                E = np.concatenate(parts_e)
+                pick = np.lexsort((E, C, T))[:cut]
+                for ci, ch in enumerate(channels):
+                    sel = E[pick[C[pick] == ci]]
+                    if sel.size:
+                        ch.times[sel] += ch.period
+                        ch.fired += int(sel.size)
+                        if ch.fn is not None:
+                            ch.fn(int(sel.size), slot_end)
+                t_max = float(T[pick].max())
+                if t_max > self.now:
+                    self.now = t_max
+                fired_total += cut
+                break
+        return fired_total
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        until_f = _INF if until is None else until
+        limit = _NO_LIMIT if max_events is None else max_events
+        channels = [ch for ch in self._channels if ch._active and ch.times.size]
+        if not channels:
+            g, hit_until = self._dispatch_general(until_f, _NO_LIMIT, _INF, limit)
+            # deferred batch debit, mirroring the bucket kernel: cancel()
+            # debits directly, subtraction commutes.
+            self._live -= g
+            self.events_dispatched += g
+            if until is not None and self.now < until and (hit_until or self._live == 0):
+                self.now = until
+            return
+        if until is None and max_events is None:
+            raise SimulationError(
+                "run() with active channels needs until= or max_events= "
+                "(channel populations recur forever)"
+            )
+        w = self._slot_w
+        inv = self._inv_slot
+        g_total = 0
+        c_total = 0
+        hit_until = False
+        while g_total + c_total < limit:
+            t_c = min(float(ch.times.min()) for ch in channels)
+            kg = self._peek_general_slot()
+            if kg is None and t_c > until_f:
+                hit_until = True
+                break
+            kc = int(t_c * inv)
+            slot_end = (kc + 1) * w
+            if t_c >= slot_end:  # float rounding at the slot boundary
+                kc += 1
+                slot_end = (kc + 1) * w
+            k = kc if kg is None else min(kg, kc)
+            g_iter = 0
+            if kg is not None and kg <= k:
+                g_iter, hit = self._dispatch_general(
+                    until_f, k, (k + 1) * w, limit - g_total - c_total
+                )
+                g_total += g_iter
+                if hit:
+                    hit_until = True
+                    break
+                if g_total + c_total >= limit:
+                    break
+            c_iter = 0
+            if k == kc:
+                c_iter = self._fire_channels(
+                    channels, slot_end, until_f, limit - g_total - c_total
+                )
+                c_total += c_iter
+            if g_iter == 0 and c_iter == 0:
+                # float-boundary stall: an entry filed in slot k carries
+                # a time an ulp past the slot end.  Fire one event
+                # unbounded by t_lt — nothing else is due before it.
+                g_iter, hit = self._dispatch_general(until_f, k, _INF, 1)
+                g_total += g_iter
+                if hit:
+                    hit_until = True
+                    break
+                if g_iter == 0:
+                    break  # defensive: nothing can make progress
+        self._live -= g_total
+        self.events_dispatched += g_total + c_total
+        if until is not None and self.now < until and hit_until:
+            self.now = until
+
+    # ------------------------------------------------------------------
+    # introspection (guard / watchdog / tests)
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        best: Optional[float] = None
+        order = self._cur_order
+        for j in reversed(order):  # descending order: min time at the end
+            h = self._cur_handles[j]
+            if h is None or not h.cancelled:
+                best = self._cur_times[j]
+                break
+        for e in reversed(self._spill):
+            h = e[_S_HANDLE]
+            if h is None or not h.cancelled:
+                t = e[_S_TIME]
+                if best is None or t < best:
+                    best = t
+                break
+        for d in self._slots.values():
+            for t, h in zip(d[0], d[4]):
+                if (h is None or not h.cancelled) and (best is None or t < best):
+                    best = t
+        for ch in self._channels:
+            if ch._active and ch.times.size:
+                t = float(ch.times.min())
+                if best is None or t < best:
+                    best = t
+        return best
+
+    def pending(self) -> int:
+        n = self._live
+        for ch in self._channels:
+            if ch._active:
+                n += int(ch.times.size)
+        return n
+
+    def queue_snapshot(self) -> dict:
+        counts: dict = {}
+
+        def _count(fn: Any) -> None:
+            key = getattr(fn, "__qualname__", None) or repr(fn)
+            counts[key] = counts.get(key, 0) + 1
+
+        for j in self._cur_order:
+            h = self._cur_handles[j]
+            if h is None or not h.cancelled:
+                _count(self._cur_fns[j])
+        for e in self._spill:
+            h = e[_S_HANDLE]
+            if h is None or not h.cancelled:
+                _count(e[_S_FN])
+        for d in self._slots.values():
+            for fn, h in zip(d[2], d[4]):
+                if h is None or not h.cancelled:
+                    _count(fn)
+        for ch in self._channels:
+            if ch._active and ch.times.size:
+                key = f"channel:{ch.label}"
+                counts[key] = counts.get(key, 0) + int(ch.times.size)
+        return counts

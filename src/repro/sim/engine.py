@@ -5,7 +5,7 @@ instant fire in scheduling order (FIFO tie-break via a monotonically
 increasing sequence number), which makes every simulation in this
 repository bit-for-bit reproducible for a fixed seed.
 
-Two interchangeable kernels implement that contract (see
+Three interchangeable kernels implement that contract (see
 docs/performance.md):
 
 * ``"bucket"`` (the default) — a calendar/bucket queue covering a
@@ -27,8 +27,18 @@ docs/performance.md):
   (or ``REPRO_SIM_KERNEL=heap``) selects it, and the equivalence tests
   assert byte-identical results against the bucket kernel across all
   schemes.
+* ``"batch"`` — the struct-of-arrays slot kernel
+  (:mod:`repro.sim.batch`): pending events live in flat parallel
+  arrays keyed by MTU-slot index, each slot is ordered once with a
+  vectorised ``lexsort`` when the clock enters it, and homogeneous
+  recurring event populations can be promoted to vectorised
+  *channels* (:meth:`repro.sim.batch.BatchSimulator.add_channel`)
+  that advance a whole array of timers per slot instead of running
+  one Python callback per event.  ``Simulator(kernel="batch")`` (or
+  ``REPRO_SIM_KERNEL=batch``) transparently constructs a
+  :class:`~repro.sim.batch.BatchSimulator`.
 
-Both kernels share the seq allocator and dispatch order ``(time,
+All kernels share the seq allocator and dispatch order ``(time,
 seq)``, so they fire the exact same callbacks in the exact same order:
 determinism is the contract, the kernel is an implementation detail.
 """
@@ -54,7 +64,7 @@ class SimulationError(RuntimeError):
 
 
 #: the available queue kernels (see module docstring).
-KERNELS = ("bucket", "heap")
+KERNELS = ("bucket", "heap", "batch")
 #: process-wide default kernel; the ``REPRO_SIM_KERNEL`` environment
 #: variable overrides it (inherited by sweep worker processes).
 DEFAULT_KERNEL = "bucket"
@@ -79,12 +89,28 @@ _INF = float("inf")
 
 
 def resolve_kernel(kernel: Optional[str] = None) -> str:
-    """``kernel`` argument > ``REPRO_SIM_KERNEL`` env > module default."""
+    """``kernel`` argument > ``REPRO_SIM_KERNEL`` env > module default.
+
+    Names match case-insensitively (``"BATCH"`` resolves to
+    ``"batch"``); an unknown name raises :class:`ValueError` with a
+    did-you-mean hint — the CLI turns that into exit code 2, the same
+    contract as unknown scheme/routing names.
+    """
     if kernel is None:
         kernel = os.environ.get(_KERNEL_ENV) or DEFAULT_KERNEL
-    if kernel not in KERNELS:
-        raise ValueError(f"unknown simulator kernel {kernel!r}; choose from {KERNELS}")
-    return kernel
+    if kernel in KERNELS:
+        return kernel
+    folded = str(kernel).strip().casefold()
+    for known in KERNELS:
+        if folded == known:
+            return known
+    import difflib
+
+    close = difflib.get_close_matches(folded, KERNELS, n=1, cutoff=0.4)
+    hint = f" — did you mean {close[0]!r}?" if close else ""
+    raise ValueError(
+        f"unknown simulator kernel {kernel!r}{hint}; choose from {KERNELS}"
+    )
 
 
 def _noop(*_args: Any) -> None:
@@ -225,8 +251,10 @@ class Simulator:
     Parameters
     ----------
     kernel:
-        ``"bucket"`` (default) or ``"heap"``; ``None`` resolves through
-        :func:`resolve_kernel` (``REPRO_SIM_KERNEL`` env override).
+        ``"bucket"`` (default), ``"heap"`` or ``"batch"``; ``None``
+        resolves through :func:`resolve_kernel` (``REPRO_SIM_KERNEL``
+        env override).  ``"batch"`` transparently constructs a
+        :class:`repro.sim.batch.BatchSimulator`.
     bucket_ns, num_buckets:
         Calendar-queue geometry (bucket kernel only).
     profile:
@@ -256,6 +284,17 @@ class Simulator:
         "_pool",
         "event_counts",
     )
+
+    def __new__(cls, kernel: Optional[str] = None, *args: Any, **kwargs: Any):
+        # ``Simulator(kernel="batch")`` (or the env override) hands the
+        # whole construction to the struct-of-arrays kernel, so every
+        # call site — runner, sweep workers, guard, perf — selects it
+        # through the exact same ``kernel=`` plumbing as the others.
+        if cls is Simulator and resolve_kernel(kernel) == "batch":
+            from repro.sim.batch import BatchSimulator
+
+            return object.__new__(BatchSimulator)
+        return object.__new__(cls)
 
     def __init__(
         self,

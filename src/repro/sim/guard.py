@@ -306,6 +306,7 @@ class FabricGuard:
         sim = f.sim
         return {
             "now": sim.now,
+            "kernel": sim.kernel,
             "pending_events": sim.pending(),
             "events_dispatched": sim.events_dispatched,
             "event_histogram": sim.queue_snapshot(),

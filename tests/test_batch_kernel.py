@@ -1,0 +1,393 @@
+"""Batch-kernel building blocks: vectorized arbitration, the SoA
+fabric mirror, the batched scheme/routing adapters, and the perf
+ratchet (``repro perf --check``).
+
+The kernel itself (slot calendar, channels, dispatch contract) is
+covered by ``tests/test_engine_kernels.py`` — whose whole contract
+suite is parametrized over all three kernels — and by the golden
+byte-identity suites; this file tests the batch-specific machinery
+those suites drive indirectly.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.network.arbiter import ISlip, SlotArbiter
+from repro.network.fabric import build_fabric
+from repro.network.packet import Packet, alloc_packet
+from repro.network.state import BatchRoutingAdapter, BatchSchemeAdapter, FabricState
+from repro.network.topology import k_ary_n_tree
+from repro.perf import PERF_GATES, check_report
+from repro.sim.batch import BatchSimulator
+from repro.sim.engine import SimulationError, Simulator
+
+
+# ----------------------------------------------------------------------
+# ISlip.match_matrix: exact equivalence with the scalar matcher
+# ----------------------------------------------------------------------
+def _lrg_state(arb):
+    return (
+        arb._clock,
+        [list(r) for r in arb._grant_stamp],
+        [list(r) for r in arb._accept_stamp],
+    )
+
+
+def test_match_matrix_equals_match_with_identical_state():
+    """Differential test: over random request matrices, the vectorized
+    matcher must produce the exact matching *and* the exact post-call
+    arbiter state (stamps and clock) of the scalar matcher — the
+    property that keeps slot-driven and event-driven arbitration
+    byte-identical."""
+    rng = random.Random(7)
+    for trial in range(60):
+        n = rng.randint(2, 9)
+        iterations = rng.randint(1, 3)
+        scalar = ISlip(n, n, iterations=iterations)
+        vector = ISlip(n, n, iterations=iterations)
+        for _ in range(12):
+            matrix = [[rng.random() < 0.35 for _ in range(n)] for _ in range(n)]
+            requests = {
+                i: [o for o in range(n) if matrix[i][o]]
+                for i in range(n)
+                if any(matrix[i])
+            }
+            assert scalar.match(requests) == vector.match_matrix(matrix), trial
+            assert _lrg_state(scalar) == _lrg_state(vector), trial
+
+
+def test_match_matrix_accepts_numpy_input():
+    arb = ISlip(4, 4)
+    ref = ISlip(4, 4)
+    matrix = np.zeros((4, 4), dtype=bool)
+    matrix[0, 1] = matrix[1, 1] = matrix[2, 3] = True
+    assert arb.match_matrix(matrix) == ref.match({0: [1], 1: [1], 2: [3]})
+
+
+def test_match_matrix_pointer_mode_delegates():
+    rng = random.Random(3)
+    scalar = ISlip(5, 5, mode="pointer")
+    vector = ISlip(5, 5, mode="pointer")
+    for _ in range(20):
+        matrix = [[rng.random() < 0.4 for _ in range(5)] for _ in range(5)]
+        requests = {
+            i: [o for o in range(5) if matrix[i][o]] for i in range(5) if any(matrix[i])
+        }
+        assert scalar.match(requests) == vector.match_matrix(matrix)
+        assert scalar.grant_ptr == vector.grant_ptr
+        assert scalar.accept_ptr == vector.accept_ptr
+
+
+def test_match_matrix_rejects_wrong_shape():
+    arb = ISlip(4, 4)
+    with pytest.raises(ValueError):
+        arb.match_matrix([[False] * 4] * 3)
+    with pytest.raises(ValueError):
+        arb.match_matrix([[False] * 3] * 4)
+
+
+def test_match_matrix_empty_matrix_matches_nothing():
+    arb = ISlip(4, 4)
+    before = _lrg_state(arb)
+    assert arb.match_matrix([[False] * 4] * 4) == {}
+    assert _lrg_state(arb) == before
+
+
+# ----------------------------------------------------------------------
+# SlotArbiter
+# ----------------------------------------------------------------------
+class _StubSwitch:
+    """Switch-like exposing the collect/apply/arbiter protocol with a
+    scripted per-round request schedule."""
+
+    def __init__(self, rounds, n=4):
+        self.arbiter = ISlip(n, n)
+        self._rounds = list(rounds)
+        self.applied = []
+
+    def collect_requests(self):
+        if not self._rounds:
+            return {}, {}
+        requests = self._rounds.pop(0)
+        candidates = {
+            (i, o): [("queue", "pkt")] for i, outs in requests.items() for o in outs
+        }
+        return requests, candidates
+
+    def apply_matches(self, matches, candidates):
+        for inp, out in matches.items():
+            assert (inp, out) in candidates
+        self.applied.append(dict(matches))
+        return bool(matches)
+
+
+def test_slot_arbiter_runs_each_switch_to_quiescence():
+    sw_a = _StubSwitch([{0: [1, 2], 1: [1], 2: [3]}, {0: [2]}])
+    sw_b = _StubSwitch([{3: [0]}])
+    arb = SlotArbiter([sw_a, sw_b])
+    started = arb.arbitrate_slot()
+    # round 1 of sw_a matches all three inputs (disjoint outputs exist),
+    # round 2 matches the one remaining input; sw_b matches its one.
+    assert [sorted(m) for m in sw_a.applied] == [[0, 1, 2], [0]]
+    assert sw_b.applied == [{3: 0}]
+    assert started == 5
+    assert arb.matches == 5
+    # every switch took its quiescence round (empty collect) as well
+    assert arb.rounds >= 5
+
+
+def test_slot_arbiter_matchings_are_valid():
+    rng = random.Random(11)
+    rounds = []
+    for _ in range(6):
+        reqs = {
+            i: sorted(rng.sample(range(6), rng.randint(1, 3)))
+            for i in rng.sample(range(6), rng.randint(1, 5))
+        }
+        rounds.append(reqs)
+    sw = _StubSwitch(list(rounds), n=6)
+    SlotArbiter([sw]).arbitrate_slot()
+    for requests, matches in zip(rounds, sw.applied):
+        outs = list(matches.values())
+        assert len(set(outs)) == len(outs), "output matched twice"
+        for inp, out in matches.items():
+            assert out in requests[inp], "granted a non-requested output"
+
+
+def test_slot_arbiter_matrix_and_dict_paths_agree():
+    """The matrix fast path must pick the same matchings as the scalar
+    path (byte-identity prerequisite for any slot-driven use)."""
+    rng = random.Random(5)
+    rounds = [
+        {
+            i: sorted(rng.sample(range(8), rng.randint(1, 4)))
+            for i in rng.sample(range(8), rng.randint(3, 8))
+        }
+        for _ in range(10)
+    ]
+    via_matrix = _StubSwitch([dict(r) for r in rounds], n=8)
+    via_dict = _StubSwitch([dict(r) for r in rounds], n=8)
+    fast = SlotArbiter([via_matrix])
+    slow = SlotArbiter([via_dict])
+    slow.matrix_min_requests = 10**9  # force the dict path
+    fast.arbitrate_slot()
+    slow.arbitrate_slot()
+    assert via_matrix.applied == via_dict.applied
+
+
+def test_slot_arbiter_on_real_fabric():
+    """Duck-typing check against the real Switch: a fabric mid-run
+    yields a consistent collect/apply round trip (the event-driven
+    matching usually leaves nothing to start — the point is that the
+    protocol holds on production objects, not stubs)."""
+    fabric = build_fabric(k_ary_n_tree(2, 2), scheme="1Q", seed=1)
+    for i, node in enumerate(fabric.nodes):
+        node.offer(alloc_packet(i, (i + 1) % len(fabric.nodes), 2048, f"f{i}"))
+    fabric.run(until=5_000.0)
+    started = SlotArbiter(fabric.switches).arbitrate_slot()
+    assert started >= 0
+    fabric.run(until=2e6)
+    assert fabric.stats()["delivered_packets"] == fabric.stats()["generated_packets"]
+
+
+# ----------------------------------------------------------------------
+# FabricState
+# ----------------------------------------------------------------------
+def _loaded_fabric(until=40_000.0):
+    fabric = build_fabric(k_ary_n_tree(2, 3), scheme="CCFIT", seed=2)
+    for i, node in enumerate(fabric.nodes):
+        for _ in range(4):
+            node.offer(alloc_packet(i, (i + 3) % len(fabric.nodes), 2048, f"f{i}"))
+    fabric.run(until=until)
+    return fabric
+
+
+def test_fabric_state_mirrors_object_graph():
+    fabric = _loaded_fabric()
+    state = FabricState.capture(fabric)
+    assert state.time == fabric.sim.now
+    assert state.num_switch_ports == sum(sw.num_ports for sw in fabric.switches)
+    assert state.total_buffered_bytes() == sum(
+        sw.total_buffered_bytes() for sw in fabric.switches
+    )
+    assert int(sum(state.link_bytes_sent)) == sum(lk.bytes_sent for lk in fabric.links)
+    assert state.in_flight == sum(1 for lk in fabric.links if lk.in_flight is not None)
+    # switch-major port indexing round-trips
+    for s, sw in enumerate(fabric.switches):
+        base = int(state.switch_base[s])
+        for p, port in enumerate(sw.input_ports):
+            assert int(state.port_switch[base + p]) == s
+            assert int(state.pool_used[base + p]) == port.pool.used
+            assert float(state.active_rate[base + p]) == port.active_rate
+
+
+def test_fabric_state_summary_is_json_safe():
+    state = FabricState.capture(_loaded_fabric())
+    summary = state.summary()
+    json.dumps(summary)  # must not leak numpy scalars
+    assert summary["ports"] > 0
+    assert 0.0 <= summary["utilisation"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# batched adapters over the unmodified public APIs
+# ----------------------------------------------------------------------
+def test_batch_scheme_adapter_matches_collect_requests():
+    fabric = _loaded_fabric(until=15_000.0)
+    for sw in fabric.switches:
+        adapter = BatchSchemeAdapter(sw)
+        matrix = adapter.request_matrix()
+        requests, candidates = sw.collect_requests()
+        if matrix is None:
+            assert not requests
+            continue
+        for inp in range(sw.num_ports):
+            for out in range(sw.num_ports):
+                assert bool(matrix[inp][out]) == (
+                    inp in requests and out in requests[inp]
+                )
+        assert adapter.candidates.keys() == candidates.keys()
+
+
+@pytest.mark.parametrize("policy", ["det", "ecmp", "adaptive", "flowlet"])
+def test_batch_routing_adapter_agrees_with_per_packet_route(policy):
+    """route_many on one fabric must reproduce the per-packet route
+    sequence on an identically-built twin — stateful policies (flowlet)
+    mutate per-flow state on every lookup, so the reference has to see
+    the exact same call sequence, not share the policy object."""
+    fab_batched = build_fabric(k_ary_n_tree(2, 3), scheme="1Q", seed=4, routing=policy)
+    fab_ref = build_fabric(k_ary_n_tree(2, 3), scheme="1Q", seed=4, routing=policy)
+    dsts = list(range(len(fab_batched.nodes))) * 2
+    for sw_b, sw_r in zip(fab_batched.switches, fab_ref.switches):
+        port_b, port_r = sw_b.input_ports[0], sw_r.input_ports[0]
+        batched = BatchRoutingAdapter(port_b).route_many(
+            dsts, src=0, flow="fx", size=2048
+        )
+        for dst, out in zip(dsts, batched):
+            pkt = Packet(0, dst, 2048, "fx")
+            assert int(out) == port_r.route(pkt), (sw_b.name, policy, dst)
+
+
+# ----------------------------------------------------------------------
+# batch channels (API not shared with the event kernels)
+# ----------------------------------------------------------------------
+def test_channel_validation():
+    sim = Simulator(kernel="batch")
+    assert isinstance(sim, BatchSimulator)
+    with pytest.raises(SimulationError):
+        sim.add_channel(np.array([1.0]), 0.0)
+    with pytest.raises(SimulationError):
+        sim.add_channel(np.array([]), 10.0)
+    sim.run(until=100.0)
+    with pytest.raises(SimulationError):
+        sim.add_channel(np.array([5.0]), 10.0)  # behind now
+
+
+def test_channel_unbounded_run_rejected():
+    sim = Simulator(kernel="batch")
+    sim.add_channel(np.array([1.0, 2.0]), 10.0)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_channel_exact_max_events_cut():
+    sim = Simulator(kernel="batch")
+    sim.add_channel(np.array([1.0, 2.0, 3.0]), 10.0)
+    sim.run(max_events=7)
+    assert sim.events_dispatched == 7
+    # 3 elements firing every 10 ns: 7th firing is element 0 at t=21
+    assert sim.now == 21.0
+
+
+def test_channel_until_bound_and_pending():
+    sim = Simulator(kernel="batch")
+    chan = sim.add_channel(np.array([5.0, 6.0]), 100.0, label="pair")
+    assert sim.pending() == 2
+    sim.run(until=250.0)
+    assert chan.fired == 6  # both elements at t in {5,6
+    # }, {105,106}, {205,206}
+    assert sim.now == 250.0
+    assert any(k.startswith("channel:pair") for k in sim.queue_snapshot())
+
+
+def test_channel_slot_synchronous_ordering():
+    """The documented slot contract: within one MTU slot, general
+    events dispatch first (in exact (time, seq) order), then the
+    slot's channel firings — channels are slot-grain, not event-grain.
+    Events in *earlier* slots always precede later channel firings."""
+    sim = Simulator(kernel="batch")
+    order = []
+    # slot 1 spans [819.2, 1638.4): both the channel firing (t=1000)
+    # and the late event (t=1500) land there; the event wins the slot.
+    sim.add_channel(np.array([1000.0]), 5000.0, fn=lambda n, end: order.append("chan"))
+    sim.post(500.0, lambda _: order.append("early"), None)   # slot 0
+    sim.post(1500.0, lambda _: order.append("late"), None)   # slot 1
+    sim.post(2000.0, lambda _: order.append("next"), None)   # slot 2
+    sim.run(until=2500.0)
+    assert order == ["early", "late", "chan", "next"]
+
+
+# ----------------------------------------------------------------------
+# the perf ratchet (repro perf --check)
+# ----------------------------------------------------------------------
+def _report(**over):
+    base = {
+        "schema": "repro.perf/1",
+        "microbench": {"bucket": {"events": 300_000}},
+        "speedup": 2.0,
+        "speedup_batch": 20.0,
+        "routing": {"ok": True, "overhead_pct": 1.0, "gate_pct": 5.0},
+        "telemetry": [
+            {"case": "case1", "scheme": "CCFIT", "kernel": "bucket", "byte_identical": True}
+        ],
+    }
+    base.update(over)
+    return base
+
+
+def test_check_report_passes_on_itself():
+    report = _report()
+    ok, lines = check_report(report, report)
+    assert ok, lines
+
+
+def test_check_report_hard_floor():
+    ok, lines = check_report(_report(speedup_batch=2.0), None)
+    assert not ok
+    assert any("speedup_batch" in line for line in lines if line.startswith("FAIL"))
+
+
+def test_check_report_baseline_regression():
+    fresh = _report(speedup_batch=PERF_GATES["speedup_batch"] + 2.0)
+    ok, lines = check_report(fresh, _report())
+    assert not ok, lines  # 5x vs 20x: past any tolerance band
+
+
+def test_check_report_tolerance_band_absorbs_noise():
+    fresh = _report(speedup=1.9, speedup_batch=18.0)
+    ok, lines = check_report(fresh, _report())
+    assert ok, lines
+
+
+def test_check_report_population_mismatch_skips_ratchet():
+    fresh = _report(
+        microbench={"bucket": {"events": 60_000}}, speedup_batch=10.0, quick=True
+    )
+    ok, lines = check_report(fresh, _report())
+    assert ok, lines
+    assert any("population differs" in line for line in lines)
+
+
+def test_check_report_routing_and_telemetry_gates():
+    bad_routing = _report(routing={"ok": False, "overhead_pct": 9.0, "gate_pct": 5.0})
+    ok, _ = check_report(bad_routing, None)
+    assert not ok
+    bad_tele = _report(
+        telemetry=[{"case": "case1", "scheme": "CCFIT", "kernel": "heap",
+                    "byte_identical": False}]
+    )
+    ok, _ = check_report(bad_tele, None)
+    assert not ok

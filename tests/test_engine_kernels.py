@@ -261,6 +261,7 @@ def test_case_results_byte_identical_across_kernels():
             )
             blobs[k] = json.dumps(res.to_dict(), sort_keys=True)
         assert blobs["bucket"] == blobs["heap"], f"kernel divergence under {scheme}"
+        assert blobs["batch"] == blobs["heap"], f"batch kernel divergence under {scheme}"
 
 
 # ----------------------------------------------------------------------

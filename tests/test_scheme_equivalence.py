@@ -21,12 +21,21 @@ GOLDEN_PATH = Path(__file__).parent / "golden" / "scheme_equivalence.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
 META = GOLDEN["_meta"]
 
+#: the kernels the golden cells must reproduce on: the two the golden
+#: file was pinned with, plus every kernel added since (the batch slot
+#: kernel) — the golden bytes are kernel-invariant by contract, so new
+#: kernels join the parametrization without touching the golden file.
+KERNELS_UNDER_TEST = tuple(META["kernels"]) + ("batch",)
+
+#: every registered routing policy (the batch × routing grid below).
+ROUTING_POLICIES = ("det", "ecmp", "adaptive", "flowlet")
+
 
 def _canonical(res) -> str:
     return json.dumps(res.to_dict(), sort_keys=True)
 
 
-@pytest.mark.parametrize("kernel", META["kernels"])
+@pytest.mark.parametrize("kernel", KERNELS_UNDER_TEST)
 @pytest.mark.parametrize("cell", sorted(GOLDEN["cells"]))
 def test_cell_matches_golden(cell, kernel):
     case, scheme = cell.split("/")
@@ -45,7 +54,7 @@ def test_cell_matches_golden(cell, kernel):
     assert digest == gold["sha256"], f"{cell} canonical JSON differs on {kernel}"
 
 
-@pytest.mark.parametrize("kernel", META["kernels"])
+@pytest.mark.parametrize("kernel", KERNELS_UNDER_TEST)
 def test_det_policy_is_the_golden_reference(kernel):
     """Explicit ``routing="det"`` (the policy-layer path, not the
     default-resolution path) reproduces the pre-policy golden bytes —
@@ -66,6 +75,47 @@ def test_det_policy_is_the_golden_reference(kernel):
     assert hashlib.sha256(_canonical(res).encode()).hexdigest() == gold["sha256"]
     # the det marker itself must not leak into the serialised bytes
     assert "routing" not in res.to_dict()
+
+
+def _cross_kernel_blob(case, scheme, routing, kernel, time_scale):
+    res = run_case(
+        case,
+        scheme=scheme,
+        time_scale=time_scale,
+        seed=META["seed"],
+        routing=routing,
+        sim_factory=lambda: Simulator(kernel=kernel),
+    )
+    return _canonical(res)
+
+
+@pytest.mark.parametrize("routing", ROUTING_POLICIES)
+def test_batch_kernel_byte_identical_under_every_routing_policy(routing):
+    """The batch kernel must agree with the heap golden reference under
+    every routing policy, not only the golden det cells — non-det
+    results have no golden pin, so the reference is a fresh heap run
+    of the same cell (tier-1 sized: one scheme, the small case)."""
+    blobs = {
+        kernel: _cross_kernel_blob("case1", "CCFIT", routing, kernel, 0.05)
+        for kernel in ("heap", "batch")
+    }
+    assert blobs["batch"] == blobs["heap"], f"batch diverges under routing={routing}"
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("routing", ROUTING_POLICIES)
+@pytest.mark.parametrize("scheme", META["schemes"])
+def test_batch_kernel_full_scheme_routing_grid(scheme, routing):
+    """Tier-2 big grid: every paper scheme × every routing policy,
+    batch vs heap, on the golden scenario sizes."""
+    for case, time_scale in META["grid"].items():
+        blobs = {
+            kernel: _cross_kernel_blob(case, scheme, routing, kernel, time_scale)
+            for kernel in ("heap", "batch")
+        }
+        assert blobs["batch"] == blobs["heap"], (
+            f"batch diverges: {case}/{scheme}@{routing}"
+        )
 
 
 def test_golden_file_covers_declared_grid():
