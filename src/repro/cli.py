@@ -39,7 +39,9 @@ docs/routing.md), ``--kernel NAME`` (simulation kernel — ``bucket``,
 ``heap``, ``batch``; byte-identical results, see docs/performance.md),
 ``--cache-dir PATH`` / ``--no-cache`` (on-disk
 result cache; ``sweep`` caches by default, the other commands opt in
-via ``--cache-dir``).  See docs/sweep.md for the job/cache model.
+via ``--cache-dir``), ``--faults SPEC`` (deterministic fault
+injection — link/switch failures and degradations, see
+docs/faults.md).  See docs/sweep.md for the job/cache model.
 
 Resilience options (docs/robustness.md): ``--timeout SECONDS``
 (per-cell wall-clock budget), ``--retries N`` (bounded retries with
@@ -69,6 +71,7 @@ from repro.experiments.configs import CONFIG3, table1
 from repro.experiments.costs import cost_table
 from repro.experiments.registry import Experiment
 from repro.experiments.report import (
+    render_fault_matrix,
     render_fig8_summary,
     render_flow_table,
     render_routing_grid,
@@ -136,6 +139,11 @@ def _add_engine_options(
                         "(results stay byte-identical; bundles ride on the results)")
     p.add_argument("--telemetry-interval", type=float, default=d(100_000.0),
                    metavar="NS", help="telemetry sampling period in ns (default 100000)")
+    p.add_argument("--faults", type=str, default=d(None), metavar="SPEC",
+                   help="inject deterministic faults into every cell, e.g. "
+                        "'kill:s0p4->s16p0@1.2ms' or "
+                        "'degrade:LINK@2ms:bw=0.5,drop=0.01;seed=7' "
+                        "(docs/faults.md; plans are part of the cache key)")
 
 
 class _Parser(argparse.ArgumentParser):
@@ -340,6 +348,15 @@ def _options(
         from repro.telemetry import TelemetryConfig
 
         telemetry = TelemetryConfig(interval=args.telemetry_interval)
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.sim.faults import FaultPlan, FaultPlanError
+
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except FaultPlanError as exc:
+            print(f"repro: bad --faults spec: {exc}", file=sys.stderr)
+            raise SystemExit(2)
     return SweepOptions(
         time_scale=args.scale,
         seed=args.seed,
@@ -353,6 +370,7 @@ def _options(
         journal=args.journal,
         resume=args.resume,
         telemetry=telemetry,
+        faults=faults,
     )
 
 
@@ -396,6 +414,8 @@ def _render_results(exp: Experiment, results: Dict[str, CaseResult], args) -> No
             print(render_fig8_summary(results))
     elif exp.kind == "grid":
         print(render_routing_grid(results))
+    elif exp.kind == "faults":
+        print(render_fault_matrix(results))
     else:
         print(render_flow_table(results, exp.flows))
     if args.csv:
@@ -450,9 +470,12 @@ def _case_schemes() -> tuple:
     return tuple(SCHEMES)
 
 
-def _result_key(scheme: str, routing: str) -> str:
+def _result_key(scheme: str, routing: str, faults=None) -> str:
     """The key :meth:`Experiment.run` files a cell under."""
-    return scheme if routing == "det" else f"{scheme}@{routing}"
+    key = scheme if routing == "det" else f"{scheme}@{routing}"
+    if faults is not None:
+        key += f"+{faults.label()}"
+    return key
 
 
 def _cmd_fig(args) -> int:
@@ -473,7 +496,7 @@ def _cmd_case(args) -> int:
     exp = registry.get(f"case{args.number}")
     opts = _options(args, cache_by_default=False, routing=routing)
     results, report = exp.run(schemes=(scheme,), options=opts)
-    key = _result_key(scheme, routing)
+    key = _result_key(scheme, routing, opts.faults)
     if key in results:
         _print_case(results[key])
     if args.csv:
@@ -489,7 +512,7 @@ def _cmd_trees(args) -> int:
     exp = registry.get("case4")
     opts = _options(args, cache_by_default=False, routing=routing)
     results, report = exp.run(schemes=(scheme,), options=opts, num_trees=args.count)
-    key = _result_key(scheme, routing)
+    key = _result_key(scheme, routing, opts.faults)
     if key in results:
         res = results[key]
         _print_case(res)
@@ -641,7 +664,7 @@ def _cmd_telemetry(args) -> int:
     )
     results, report = exp.run(schemes=(scheme,), routings=(routing,), options=opts)
     rc = _report_engine(report, opts, args)
-    res = results.get(_result_key(scheme, routing))
+    res = results.get(_result_key(scheme, routing, opts.faults))
     if res is None or res.telemetry is None:
         print("telemetry: no bundle produced (cell failed?)", file=sys.stderr)
         return rc or 1

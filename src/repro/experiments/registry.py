@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.ccfit import FIG8_SCHEMES, PAPER_SCHEMES, SCHEMES
 from repro.experiments.runner import CaseResult
 from repro.experiments.sweep import SimJob, SweepOptions, SweepReport, run_sweep
+from repro.sim.faults import FaultPlan
 
 __all__ = ["Experiment", "register", "get", "names", "experiments", "REGISTRY"]
 
@@ -47,6 +48,12 @@ class Experiment:
     #: "det"); a non-empty tuple (the ``routing_grid`` experiment)
     #: crosses every scheme with every listed policy.
     routings: Tuple[str, ...] = ()
+    #: default fault-scenario axis (docs/faults.md): named
+    #: :class:`~repro.sim.faults.FaultPlan`\ s (or None for the
+    #: fault-free baseline) crossed with every (scheme, routing) cell.
+    #: Empty means one scenario per grid — whatever the caller/options
+    #: inject (usually none).
+    faults: Tuple[Optional[FaultPlan], ...] = ()
 
     def jobs(
         self,
@@ -59,18 +66,22 @@ class Experiment:
         telemetry=None,
         routing: str = "det",
         kernel=None,
+        faults=None,
         **overrides,
     ) -> List[SimJob]:
-        """Decompose into one :class:`SimJob` per (scheme, routing)
-        cell.  ``overrides`` update the static ``extra`` knobs (the
-        ``trees`` CLI command overrides ``num_trees`` this way).  The
-        routing axis defaults to :attr:`routings`, falling back to the
-        single policy ``routing``."""
+        """Decompose into one :class:`SimJob` per (scheme, routing,
+        fault-scenario) cell.  ``overrides`` update the static ``extra``
+        knobs (the ``trees`` CLI command overrides ``num_trees`` this
+        way).  The routing axis defaults to :attr:`routings`, falling
+        back to the single policy ``routing``; the fault axis defaults
+        to :attr:`faults`, falling back to the single plan ``faults``
+        (usually None)."""
         extra = dict(self.extra)
         extra.update(overrides)
         axis = routings if routings is not None else self.routings
         if not axis:
             axis = (routing,)
+        axis_f = self.faults if self.faults else (faults,)
         return [
             SimJob(
                 case=self.case,
@@ -82,9 +93,11 @@ class Experiment:
                 telemetry=telemetry,
                 routing=r,
                 kernel=kernel,
+                faults=f,
             )
             for s in (schemes if schemes is not None else self.schemes)
             for r in axis
+            for f in axis_f
         ]
 
     def run(
@@ -104,7 +117,8 @@ class Experiment:
         The result mapping is keyed by scheme for det cells and
         ``"<scheme>@<routing>"`` for non-det cells, so single-policy
         grids keep their historical keys while routing grids stay
-        unambiguous."""
+        unambiguous; fault-scenario cells append ``"+<plan label>"``
+        (the ``fault_resilience`` grid)."""
         opts = options if options is not None else SweepOptions()
         jobs = self.jobs(
             schemes=schemes,
@@ -115,14 +129,20 @@ class Experiment:
             telemetry=opts.telemetry,
             routing=opts.routing,
             kernel=opts.kernel,
+            faults=getattr(opts, "faults", None),
             **overrides,
         )
         report = run_sweep(jobs, options=opts)
-        results = {
-            (job.scheme if job.routing == "det" else f"{job.scheme}@{job.routing}"): res
-            for job, res in zip(report.jobs, report.results)
-            if res is not None
-        }
+        results = {}
+        for job, res in zip(report.jobs, report.results):
+            if res is None:
+                continue
+            key = job.scheme if job.routing == "det" else f"{job.scheme}@{job.routing}"
+            if job.faults is not None:
+                key += f"+{job.faults.label()}"
+            elif self.faults:
+                key += "+none"  # the grid's fault-free baseline cell
+            results[key] = res
         return results, report
 
 
@@ -197,3 +217,25 @@ register(Experiment("routing_grid",
                     case="case4", schemes=("ITh", "FBICM", "CCFIT"), kind="grid",
                     extra=(("num_trees", 4),),
                     routings=("det", "ecmp", "adaptive", "flowlet")))
+
+# ---------------------------------------------------------------- faults
+# Fault scenarios on the Fig. 8a incast (Config #3, one congestion
+# tree; hotspot burst [1 ms, 2 ms]).  Each plan strikes mid-burst, when
+# congestion control is actively isolating/throttling: ``flap`` drops a
+# leaf uplink for 300 us and restores it, ``kill`` severs it for good,
+# ``degrade`` quarters a spine uplink's bandwidth.  Plan times are at
+# time_scale=1.0 and scale with the cell.  The None entry is the
+# fault-free baseline every scenario is compared against (keyed
+# "+none"); see docs/faults.md and report.render_fault_matrix.
+_FAULT_SCENARIOS = (
+    None,
+    FaultPlan.parse("down:s0p4->s16p0@1.2ms;up:s0p4->s16p0@1.5ms", name="flap"),
+    FaultPlan.parse("kill:s0p4->s16p0@1.2ms", name="kill"),
+    FaultPlan.parse("degrade:s16p4->s32p0@1.1ms:bw=0.25", name="degrade"),
+)
+register(Experiment("fault_resilience",
+                    "Scheme x routing x fault scenario on Config #3 (1 tree)",
+                    case="case4", schemes=("ITh", "FBICM", "CCFIT"), kind="faults",
+                    extra=(("num_trees", 1),),
+                    routings=("det", "adaptive", "flowlet"),
+                    faults=_FAULT_SCENARIOS))

@@ -18,6 +18,7 @@ __all__ = [
     "render_flow_table",
     "render_fig8_summary",
     "render_routing_grid",
+    "render_fault_matrix",
 ]
 
 
@@ -109,6 +110,66 @@ def render_routing_grid(results: Dict[str, CaseResult]) -> str:
         rows.append(row)
     header = "-- burst-window mean throughput (GB/s), scheme x routing --"
     return header + "\n" + render_table(rows, columns=["scheme", *routings])
+
+
+def _recovery_us(res: CaseResult) -> str:
+    """Time (us) from the first fault to the throughput series regaining
+    90 % of its pre-fault level, or "never"/"-" when it doesn't / when
+    the cell ran fault-free."""
+    if res.faults is None:
+        return "-"
+    onsets = [
+        rec["time"] for rec in res.faults.get("applied", ())
+        if rec["action"] in ("down", "kill", "fail", "drain", "degrade")
+    ]
+    if not onsets:
+        return "-"
+    t_fault = min(onsets)
+    times, rates = res.throughput
+    pre = (times >= 0.5 * t_fault) & (times < t_fault)
+    if not pre.any():
+        return "-"
+    target = 0.9 * float(rates[pre].mean())
+    after = times >= t_fault
+    recovered = after & (rates >= target)
+    if not recovered.any():
+        return "never"
+    return f"{(float(times[recovered][0]) - t_fault) / 1e3:.0f}"
+
+
+def render_fault_matrix(results: Dict[str, CaseResult]) -> str:
+    """One row per (scheme, routing, fault scenario) cell — the
+    ``fault_resilience`` experiment's table.
+
+    ``results`` keys are ``"<scheme>[@<routing>]+<scenario>"`` as
+    produced by :meth:`repro.experiments.registry.Experiment.run`.
+    Columns: delivered fraction, burst-window mean throughput, mean
+    hot-flow bandwidth (the congestion victims the fault compounds),
+    fault drops split wire/source, and the 90 %-recovery time.
+    """
+    rows = []
+    for key, res in results.items():
+        base, _, scenario = key.partition("+")
+        scheme, _, routing = base.partition("@")
+        gen = res.stats.get("generated_packets", 0)
+        delivered = res.stats.get("delivered_packets", 0) / gen if gen else 0.0
+        hot = list(res.flow_bandwidth.values())
+        snap = res.faults or {}
+        rows.append(
+            {
+                "scheme": scheme,
+                "routing": routing or res.routing,
+                "fault": scenario or "none",
+                "delivered": f"{delivered:.4f}",
+                "burst": f"{res.mean_throughput():.1f}",
+                "hot_bw": f"{sum(hot) / len(hot):.3f}" if hot else "-",
+                "wire_drops": int(snap.get("wire_drops", 0)),
+                "src_drops": int(snap.get("source_drops", 0)),
+                "recovery_us": _recovery_us(res),
+            }
+        )
+    header = "-- fault resilience: delivered fraction, drops, recovery --"
+    return header + "\n" + render_table(rows)
 
 
 def series_checksum(results: Dict[str, CaseResult]) -> float:

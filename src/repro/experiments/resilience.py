@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -219,20 +220,30 @@ class SweepJournal:
     # -- reading -------------------------------------------------------
     def load(self) -> Dict[str, Dict[str, Any]]:
         """Key -> completed ok-record.  Failure lines are *not* returned:
-        a resumed sweep retries previously failed cells."""
+        a resumed sweep retries previously failed cells.  An undecodable
+        line — the torn tail of an interrupted write — is warned about
+        and skipped; its cell simply re-runs."""
         done: Dict[str, Dict[str, Any]] = {}
         try:
             text = self.path.read_text()
         except FileNotFoundError:
             return done
-        for line in text.splitlines():
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 rec = json.loads(line)
             except ValueError:
-                continue  # truncated tail from an interrupted write
+                tail = " (torn tail of an interrupted write)" if lineno == len(lines) else ""
+                warnings.warn(
+                    f"journal {self.path}: skipping undecodable line "
+                    f"{lineno}{tail}; its cell will be re-run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
             if isinstance(rec, dict) and rec.get("ok") and "key" in rec and "result" in rec:
                 done[rec["key"]] = rec
         return done

@@ -90,6 +90,10 @@ class CaseResult:
     #: routing policy the cell ran under (docs/routing.md).  Serialized
     #: only when not "det", so pre-routing results keep their bytes.
     routing: str = "det"
+    #: fault-injector snapshot (:meth:`repro.sim.faults.FaultInjector.
+    #: snapshot`) when the cell ran under a FaultPlan; None — and
+    #: absent from the serialized form — otherwise (docs/faults.md).
+    faults: Optional[Dict[str, Any]] = None
 
     def mean_throughput(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
         times, rates = self.throughput
@@ -123,6 +127,8 @@ class CaseResult:
             out["telemetry"] = self.telemetry
         if self.routing != "det":
             out["routing"] = self.routing
+        if self.faults is not None:
+            out["faults"] = self.faults
         return out
 
     @classmethod
@@ -141,6 +147,7 @@ class CaseResult:
             window=(float(data["window"][0]), float(data["window"][1])),
             telemetry=data.get("telemetry"),
             routing=data.get("routing", "det"),
+            faults=data.get("faults"),
         )
 
 
@@ -158,18 +165,40 @@ def _run(
     validate: Optional[bool] = None,
     telemetry=None,
     routing: str = "det",
+    faults=None,
 ) -> CaseResult:
     from repro.metrics.collector import Collector
 
+    sim = sim_factory() if sim_factory is not None else None
+    if faults is not None:
+        # Fault injection needs the wire-drop hooks of the scalar
+        # kernels; the batched kernel's fused delivery path has no
+        # per-packet interception point, so fall back to the validated
+        # byte-identical ``bucket`` kernel (docs/faults.md).
+        from repro.sim.engine import Simulator
+
+        if sim is None:
+            sim = Simulator()
+        if sim.kernel == "batch":
+            import warnings
+
+            warnings.warn(
+                "fault injection is not supported on the 'batch' kernel; "
+                "falling back to the bucket kernel for this cell",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            sim = Simulator(kernel="bucket")
     fabric: Fabric = build_fabric(
         config.topo(),
         scheme=scheme,
         params=params,
         seed=seed,
         collector=Collector(bin_ns=bin_ns),
-        sim=sim_factory() if sim_factory is not None else None,
+        sim=sim,
         validate=validate,
         routing=routing,
+        faults=faults,
     )
     sampler = None
     if telemetry is not None:
@@ -190,6 +219,7 @@ def _run(
         window=window,
         telemetry=sampler.bundle(duration) if sampler is not None else None,
         routing=fabric.routing,
+        faults=fabric.faults.snapshot() if fabric.faults is not None else None,
     )
     for spec in flows:
         result.flow_series[spec.name] = c.flow_series(spec.name, duration)
@@ -210,6 +240,7 @@ def _cell_case1(
     validate: Optional[bool] = None,
     telemetry=None,
     routing: str = "det",
+    faults=None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -226,6 +257,7 @@ def _cell_case1(
         validate=validate,
         telemetry=telemetry,
         routing=routing,
+        faults=faults,
     )
 
 
@@ -239,6 +271,7 @@ def _cell_case2(
     validate: Optional[bool] = None,
     telemetry=None,
     routing: str = "det",
+    faults=None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -255,6 +288,7 @@ def _cell_case2(
         validate=validate,
         telemetry=telemetry,
         routing=routing,
+        faults=faults,
     )
 
 
@@ -268,6 +302,7 @@ def _cell_case3(
     validate: Optional[bool] = None,
     telemetry=None,
     routing: str = "det",
+    faults=None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     flows, uniform = case3_traffic(time_scale=time_scale)
@@ -285,6 +320,7 @@ def _cell_case3(
         validate=validate,
         telemetry=telemetry,
         routing=routing,
+        faults=faults,
     )
 
 
@@ -300,6 +336,7 @@ def _cell_case4(
     validate: Optional[bool] = None,
     telemetry=None,
     routing: str = "det",
+    faults=None,
 ) -> CaseResult:
     duration = duration_ms * MS * time_scale
     flows, uniform = case4_traffic(num_trees=num_trees, time_scale=time_scale)
@@ -317,6 +354,7 @@ def _cell_case4(
         validate=validate,
         telemetry=telemetry,
         routing=routing,
+        faults=faults,
     )
 
 
@@ -340,6 +378,7 @@ def run_case(
     params: Optional[CCParams] = None,
     routing: Optional[str] = None,
     kernel: Optional[str] = None,
+    faults=None,
     options=None,
     **extra,
 ) -> CaseResult:
@@ -369,6 +408,14 @@ def run_case(
     engine default / ``REPRO_SIM_KERNEL``.  Kernels are byte-identical,
     so this selects speed, never results.  An explicit ``sim_factory``
     wins over ``kernel``.
+
+    ``faults`` is a :class:`repro.sim.faults.FaultPlan` (or a spec
+    string for :meth:`FaultPlan.parse`) injecting deterministic link/
+    switch failures; it defaults from ``options.faults``.  Plan times
+    are expressed at ``time_scale=1.0`` and scaled automatically so a
+    plan stays aligned with the traffic pattern at any scale.  Without
+    a plan, results are byte-identical to a fault-free build
+    (docs/faults.md).
     """
     if case not in _CELLS:
         raise KeyError(f"unknown case {case!r}; choose from {sorted(_CELLS)}")
@@ -383,6 +430,16 @@ def run_case(
     if routing is None:
         routing = getattr(options, "routing", None) if options is not None else None
         routing = "det" if routing is None else routing
+    if faults is None and options is not None:
+        faults = getattr(options, "faults", None)
+    if isinstance(faults, str):
+        from repro.sim.faults import FaultPlan
+
+        faults = FaultPlan.parse(faults)
+    if faults is not None:
+        if time_scale != 1.0:
+            faults = faults.scaled(time_scale)
+        extra["faults"] = faults
     if extra.get("telemetry") is None and options is not None:
         telemetry = getattr(options, "telemetry", None)
         if telemetry is not None:

@@ -65,6 +65,7 @@ from repro.experiments.resilience import (
     terminate_pool,
 )
 from repro.experiments.runner import CASE_NAMES, CaseResult, run_case
+from repro.sim.faults import FaultPlan
 from repro.telemetry import TelemetryConfig
 
 __all__ = [
@@ -130,6 +131,10 @@ class SweepOptions:
     #: bundle is additive — but the config is part of the cache key, so
     #: telemetry and non-telemetry runs never serve each other's cells.
     telemetry: Optional[TelemetryConfig] = None
+    #: inject deterministic faults into every cell (docs/faults.md);
+    #: None runs fault-free.  The plan is part of the cache key, so
+    #: faulted and fault-free runs never serve each other's cells.
+    faults: Optional[FaultPlan] = None
 
     @property
     def cache_enabled(self) -> bool:
@@ -180,6 +185,10 @@ class SimJob:
     #: defers to the engine default / ``REPRO_SIM_KERNEL``.  Canonical
     #: at construction (case-insensitive, did-you-mean on typos).
     kernel: Optional[str] = None
+    #: deterministic fault plan (docs/faults.md), or None for a
+    #: fault-free cell.  Times are at ``time_scale=1.0``; the runner
+    #: scales them with the cell.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.case not in CASE_NAMES:
@@ -195,7 +204,7 @@ class SimJob:
         # deterministic routing on the default kernel.
         if name == "routing":
             return "det"
-        if name == "kernel":
+        if name in ("kernel", "faults"):
             return None
         raise AttributeError(name)
 
@@ -225,6 +234,10 @@ class SimJob:
             out["telemetry"] = self.telemetry.to_dict()
         if self.routing != "det":
             out["routing"] = self.routing
+        if self.faults is not None:
+            # unscaled plan + time_scale: the preimage is the *input*;
+            # the runner derives the scaled plan deterministically.
+            out["faults"] = self.faults.to_dict()
         return out
 
     def key(self) -> str:
@@ -242,6 +255,7 @@ class SimJob:
             telemetry=self.telemetry,
             routing=self.routing,
             kernel=self.kernel,
+            faults=self.faults,
             **dict(self.extra),
         )
 
@@ -252,6 +266,8 @@ class SimJob:
             base += f"@{self.routing}"
         if self.kernel is not None:
             base += f"#{self.kernel}"
+        if self.faults is not None:
+            base += f"+{self.faults.label()}"
         return base + (f"[{extra}]" if extra else "")
 
 

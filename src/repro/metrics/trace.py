@@ -92,6 +92,12 @@ class ProtocolTrace:
         for node in fabric.nodes:
             if node.throttle is not None:
                 self._wrap_throttle(node, record)
+        # An armed fault injector reports its events (link-down/up,
+        # fault-drop, reroute, ...) through the same recorder, so fault
+        # timelines interleave with the protocol's reactions.
+        faults = getattr(fabric, "faults", None)
+        if faults is not None:
+            faults.recorder = record
         return self
 
     # -- wrappers ----------------------------------------------------------

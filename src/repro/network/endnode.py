@@ -203,6 +203,16 @@ class EndNode:
         self.packets_delivered = 0
         self.becns_sent = 0
         self.offers_rejected = 0
+        #: destinations currently unreachable through live links
+        #: (maintained by the fault injector); ``None`` — the
+        #: fault-free common case — keeps ``offer`` on one check.
+        self.fault_doomed: Optional[set] = None
+        #: packets dropped at generation because their destination was
+        #: unroutable (part of the guard's expected-loss ledger).
+        self.source_drops = 0
+        #: ``hook(node, pkt)`` observer, called on every source drop
+        #: before the packet returns to the pool.
+        self.on_fault_drop: Optional[Callable[["EndNode", Packet], None]] = None
 
     # ------------------------------------------------------------------
     # traffic generation interface
@@ -215,6 +225,19 @@ class EndNode:
         """
         if pkt.dst == self.id:
             raise ValueError(f"node {self.id} generating traffic to itself")
+        doomed = self.fault_doomed
+        if doomed is not None and pkt.dst in doomed:
+            # Unroutable destination (fault injection): degrade to a
+            # traced source drop instead of wedging the lossless
+            # fabric.  Counted as generated so delivered fraction
+            # reflects the loss; True so generators don't retry-spin.
+            self.packets_generated += 1
+            self.source_drops += 1
+            hook = self.on_fault_drop
+            if hook is not None:
+                hook(self, pkt)
+            free_packet(pkt)
+            return True
         q = self.advoqs[pkt.dst]
         if not q.fits(pkt.size):
             self.offers_rejected += 1
@@ -393,6 +416,9 @@ class EndNode:
     def reserve(self, pkt: Packet) -> None:
         pass
 
+    def cancel_reservation(self, pkt: Packet) -> None:
+        pass  # sinks never hold space, so there is nothing to undo
+
     def receive_packet(self, pkt: Packet, link: Link) -> None:
         pkt.delivered_at = self.sim.now
         self.packets_delivered += 1
@@ -428,6 +454,10 @@ class EndNode:
             },
             "stage_inflight": self._stage_inflight,
         }
+        if self.source_drops:
+            entry["source_drops"] = self.source_drops
+        if self.fault_doomed:
+            entry["fault_doomed"] = sorted(self.fault_doomed)
         if self.stage is not None:
             entry["stage_pool_used"] = self.stage.pool.used
             entry["stage_pool_capacity"] = self.stage.pool.capacity

@@ -57,6 +57,10 @@ class Fabric:
     #: was attached.  Its periodic ticks are subtracted from the
     #: ``events`` statistic so results are byte-identical either way.
     telemetry: Optional[object] = None
+    #: armed fault injector (:class:`repro.sim.faults.FaultInjector`);
+    #: None — the common case — unless the fabric was built with a
+    #: :class:`~repro.sim.faults.FaultPlan`.
+    faults: Optional[object] = None
 
     def run(self, until: float) -> None:
         """Advance the simulation to time ``until`` (ns).
@@ -92,14 +96,24 @@ class Fabric:
             "events": self.sim.events_dispatched
             - (self.telemetry.ticks if self.telemetry is not None else 0),
         }
+        # fault-injection statistics ride only on faulted fabrics, so
+        # healthy stats dicts stay byte-identical to the seed.
+        if self.faults is not None:
+            s["fault_wire_drops"] = self.faults.wire_drops()
+            s["fault_source_drops"] = self.faults.source_drops()
+            s["fault_link_events"] = len(self.faults.log)
         return s
 
     def in_flight_packets(self) -> int:
-        """Packets generated but not yet delivered (conservation checks)."""
-        return int(
+        """Packets generated but not yet delivered or lost to an
+        injected fault (conservation checks)."""
+        in_flight = int(
             sum(n.packets_generated for n in self.nodes)
             - self.collector.delivered_packets
         )
+        if self.faults is not None:
+            in_flight -= self.faults.packets_lost()
+        return in_flight
 
 
 def build_fabric(
@@ -112,6 +126,7 @@ def build_fabric(
     validate: Optional[bool] = None,
     guard_config=None,
     routing: "str | RoutingPolicySpec" = "det",
+    faults=None,
 ) -> Fabric:
     """Instantiate a simulated network.
 
@@ -141,6 +156,12 @@ def build_fabric(
         Optional :class:`repro.sim.guard.GuardConfig` tuning the check
         cadence and watchdog patience (implies nothing unless the
         guard is enabled).
+    faults:
+        Optional :class:`repro.sim.faults.FaultPlan`: arms a
+        :class:`~repro.sim.faults.FaultInjector` on the built fabric
+        and schedules every fault event (docs/faults.md).  ``None``
+        (the default) builds a fault-free fabric byte-identical to the
+        pre-fault builder.
     """
     spec, params = scheme_params(scheme, params)
     policy_spec = routing if isinstance(routing, RoutingPolicySpec) else get_policy(routing)
@@ -244,6 +265,11 @@ def build_fabric(
         rngs=rngs,
         routing=policy_spec.name,
     )
+    if faults is not None:
+        # Deferred import: fault-free fabrics never load the module.
+        from repro.sim.faults import FaultInjector
+
+        fabric.faults = FaultInjector(fabric, faults).arm()
     if validation_enabled(validate):
         from repro.sim.guard import FabricGuard
 

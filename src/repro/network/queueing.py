@@ -125,6 +125,10 @@ class CongestionControlScheme:
     def reserve_extra(self, pkt: Packet) -> None:
         pass
 
+    def cancel_extra(self, pkt: Packet) -> None:
+        """Undo :meth:`reserve_extra` for a packet dropped on the wire
+        (fault injection): the packet will never reach ``on_arrival``."""
+
     # -- control path ------------------------------------------------------
     def on_control_message(self, msg: ControlMessage) -> None:
         """A tree-protocol message reached the host device.  Schemes
@@ -337,6 +341,10 @@ class VOQnetScheme(QueueScheme):
 
     def reserve_extra(self, pkt: Packet) -> None:
         self._pending[pkt.dst] += pkt.size
+
+    def cancel_extra(self, pkt: Packet) -> None:
+        self._pending[pkt.dst] -= pkt.size
+        assert self._pending[pkt.dst] >= 0, "VOQnet pending accounting broken"
 
     def on_arrival(self, pkt: Packet) -> None:
         self._pending[pkt.dst] -= pkt.size

@@ -67,25 +67,35 @@ __all__ = [
 class RoutingTable:
     """Per-switch destination → output-port map."""
 
-    __slots__ = ("switch_id", "_table")
+    __slots__ = ("switch_id", "_table", "owner")
 
     def __init__(self, switch_id: int, table: Dict[int, int]) -> None:
         self.switch_id = switch_id
         self._table = table
+        #: the live Switch this table routes for (set by
+        #: ``Switch.__init__``); used only to stamp lookup errors with
+        #: the switch name and the current simulated time.
+        self.owner: Any = None
 
     def lookup(self, dst: int) -> int:
         """Output port for destination ``dst``.
 
         Raises :class:`~repro.network.topology.TopologyError` naming
-        the switch and destination for unroutable destinations — a
-        configuration error, never expected at runtime.
+        the switch, destination, endpoints and simulated time for
+        unroutable destinations — a configuration error, never
+        expected at runtime.
         """
         try:
             return self._table[dst]
         except KeyError:
+            context = ""
+            owner = self.owner
+            if owner is not None:
+                context = f" at {owner.name}, t={owner.sim.now}"
             raise TopologyError(
                 f"switch {self.switch_id} has no route for destination "
-                f"{dst} (table covers {len(self._table)} destination(s))"
+                f"{dst} (table covers {len(self._table)} "
+                f"destination(s)){context}"
             ) from None
 
     def __contains__(self, dst: int) -> bool:
@@ -197,6 +207,13 @@ class RoutingPolicy:
         self.diverted = 0
         #: data-path decisions total (policies that route adaptively).
         self.routed = 0
+        #: output ports whose link is currently down (fault injection);
+        #: excluded from candidate sets on the very next decision.
+        self.dead_ports: set = set()
+        #: True once a fault re-route rewrote the DET table — relaxes
+        #: the audit's DET-port-is-minimal invariant (recovery routes
+        #: over the surviving links are deliberately non-minimal).
+        self.rerouted = False
 
     # -- data path -----------------------------------------------------
     def route(self, port, pkt) -> int:
@@ -204,7 +221,18 @@ class RoutingPolicy:
         cands = None if self.candidates is None else self.candidates.get(pkt.dst)
         if cands is None or len(cands) < 2:
             return self.table.lookup(pkt.dst)
-        out = self.select_output(port.switch, pkt, cands)
+        dead = self.dead_ports
+        if dead:
+            live = tuple(c for c in cands if c not in dead)
+            # All candidates dead: fall through with the original set
+            # (the source-side doom check stops new traffic; whatever
+            # is already inside the fabric waits for a re-route).
+            if live:
+                cands = live
+        if len(cands) == 1:
+            out = cands[0]
+        else:
+            out = self.select_output(port.switch, pkt, cands)
         self.routed += 1
         if out != self.table.lookup(pkt.dst):
             self.diverted += 1
@@ -227,20 +255,43 @@ class RoutingPolicy:
         forwarding): always the deterministic table port."""
         return self.table.lookup(dst)
 
+    # -- fault notifications (docs/faults.md) --------------------------
+    def on_link_down(self, out_port: int) -> None:
+        """The link behind ``out_port`` went down: exclude it from
+        every candidate set immediately.  ``det`` keeps routing by
+        table (its ``route`` never consults ``dead_ports``) until the
+        injector's delayed re-route rewrites the table."""
+        self.dead_ports.add(out_port)
+
+    def on_link_up(self, out_port: int) -> None:
+        """The link behind ``out_port`` came back: candidates may use
+        it again on the very next decision."""
+        self.dead_ports.discard(out_port)
+
     # -- introspection -------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe state for watchdog diagnostics."""
-        return {
+        snap: Dict[str, Any] = {
             "policy": self.name,
             "switch": self.table.switch_id,
             "routed": self.routed,
             "diverted": self.diverted,
         }
+        # fault state rides only when present, keeping healthy dumps
+        # byte-identical to the pre-fault subsystem.
+        if self.dead_ports:
+            snap["dead_ports"] = sorted(self.dead_ports)
+        if self.rerouted:
+            snap["rerouted"] = True
+        return snap
 
     def audit(self) -> None:
         """Invariant sweep hook (:mod:`repro.sim.guard`): every
         candidate set must be non-empty and contain the DET port, so
-        any adaptive choice stays on a minimal (loop-free) path."""
+        any adaptive choice stays on a minimal (loop-free) path.  Once
+        a fault re-route has rewritten the table (``rerouted``), the
+        DET-port-is-minimal clause is waived: recovery routes around
+        dead links are deliberately non-minimal."""
         if self.candidates is None:
             return
         for dst, cands in self.candidates.items():
@@ -249,7 +300,11 @@ class RoutingPolicy:
                     f"switch {self.table.switch_id}: empty candidate set "
                     f"for destination {dst}"
                 )
-            if dst in self.table and self.table.lookup(dst) not in cands:
+            if (
+                not self.rerouted
+                and dst in self.table
+                and self.table.lookup(dst) not in cands
+            ):
                 raise TopologyError(
                     f"switch {self.table.switch_id}: DET port "
                     f"{self.table.lookup(dst)} for destination {dst} is "

@@ -132,6 +132,13 @@ class InputPort:
         self.pool.reserve(pkt.size)
         self.scheme.reserve_extra(pkt)
 
+    def cancel_reservation(self, pkt: Packet) -> None:
+        """Undo :meth:`reserve` for a packet that died on the wire
+        (fault drop): the committed space is released without the
+        packet ever arriving, keeping the credit ledger balanced."""
+        self.pool.release(pkt.size)
+        self.scheme.cancel_extra(pkt)
+
     def receive_packet(self, pkt: Packet, link: Link) -> None:
         self.packets_received += 1
         self.scheme.on_arrival(pkt)
@@ -246,6 +253,10 @@ class Switch:
         #: the policy's deterministic table (back-compat attribute; the
         #: pre-policy switch exposed the RoutingTable here).
         self.routing = routing.table
+        # Give the table a way to stamp lookup errors with the switch
+        # name and the current simulated time (satellite of
+        # docs/faults.md: contextual TopologyError messages).
+        self.routing.owner = self
         self.params = params
         self.crossbar_bw = crossbar_bw
         self.marker = marker

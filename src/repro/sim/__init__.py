@@ -17,6 +17,7 @@ from repro.sim.engine import (
     Simulator,
     resolve_kernel,
 )
+from repro.sim.faults import FaultEvent, FaultInjector, FaultPlan, FaultPlanError
 from repro.sim.rng import RngFactory
 
 __all__ = [
@@ -27,4 +28,8 @@ __all__ = [
     "KERNELS",
     "DEFAULT_KERNEL",
     "resolve_kernel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
 ]

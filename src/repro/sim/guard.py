@@ -218,7 +218,16 @@ class FabricGuard:
                     continue
                 wire = 0
                 if port.link_in is not None:
-                    wire = port.link_in.bytes_sent - port.link_in.bytes_received
+                    # Bytes dropped on the wire (fault injection) had
+                    # their reservation cancelled, so they are neither
+                    # wire-resident nor buffered — the expected-loss
+                    # ledger removes them from the balance (zero on
+                    # healthy fabrics).
+                    wire = (
+                        port.link_in.bytes_sent
+                        - port.link_in.bytes_received
+                        - port.link_in.bytes_dropped
+                    )
                     if wire < 0:
                         out.append(
                             f"{where}: link {port.link_in.name} received more "
@@ -269,7 +278,11 @@ class FabricGuard:
                     out.append(f"{where}: {exc}")
 
     def _check_packet_conservation(self, out: List[str]) -> None:
-        """Global balance: generated == delivered + queued + on-wire."""
+        """Global balance: generated == delivered + queued + on-wire +
+        expected losses.  The loss terms (wire drops on failing or
+        degraded links, source drops of unroutable traffic) are the
+        fault injector's expected-loss ledger — all zero on a healthy
+        fabric, so the check degenerates to strict conservation."""
         f = self.fabric
         generated = sum(n.packets_generated for n in f.nodes)
         delivered_nodes = sum(n.packets_delivered for n in f.nodes)
@@ -287,13 +300,24 @@ class FabricGuard:
         for sw in f.switches:
             for port in sw.input_ports:
                 queued += port.scheme.total_packets()
-        on_wire = sum(lk.packets_sent - lk.packets_received for lk in f.links)
-        accounted = delivered_nodes + queued + on_wire
+        on_wire = 0
+        wire_dropped = 0
+        for lk in f.links:
+            on_wire += lk.packets_sent - lk.packets_received - lk.packets_dropped
+            wire_dropped += lk.packets_dropped
+        source_drops = sum(getattr(n, "source_drops", 0) for n in f.nodes)
+        accounted = delivered_nodes + queued + on_wire + wire_dropped + source_drops
         if generated != accounted:
+            lost = ""
+            if wire_dropped or source_drops:
+                lost = (
+                    f" + wire_dropped({wire_dropped}) + "
+                    f"source_dropped({source_drops})"
+                )
             out.append(
                 f"packet conservation broken: generated {generated} != "
                 f"delivered({delivered_nodes}) + queued({queued}) + "
-                f"wire({on_wire}) = {accounted}"
+                f"wire({on_wire}){lost} = {accounted}"
             )
 
     # ------------------------------------------------------------------
@@ -304,7 +328,7 @@ class FabricGuard:
         waiting on and where every packet sits."""
         f = self.fabric
         sim = f.sim
-        return {
+        dump = {
             "now": sim.now,
             "kernel": sim.kernel,
             "pending_events": sim.pending(),
@@ -316,3 +340,9 @@ class FabricGuard:
             "nodes": [n.snapshot() for n in f.nodes],
             "checks_run": self.checks,
         }
+        # A stall on a faulted fabric is usually *caused* by the fault
+        # (dead route, partition): put the injector state right in the
+        # watchdog's hands.
+        if f.faults is not None:
+            dump["faults"] = f.faults.snapshot()
+        return dump

@@ -213,4 +213,20 @@ class TelemetrySampler:
                 tracker.consume(self.trace.events)
                 out["trees"] = [rec.to_dict() for rec in tracker.records()]
                 out["tree_stats"] = tracker.stats()
+        # Fault attribution (docs/faults.md): the injector's event log
+        # plus, per congestion tree, whether it was born inside a fault
+        # window — separating fault-induced trees from the workload's
+        # own.  Absent on fault-free fabrics, keeping bundles identical.
+        faults = getattr(self.fabric, "faults", None)
+        if faults is not None:
+            out["faults"] = faults.snapshot()
+            trees = out.get("trees")
+            if trees:
+                windows = faults.windows()
+                for rec in trees:
+                    birth = rec.get("birth")
+                    rec["during_fault"] = birth is not None and any(
+                        start <= birth and (end is None or birth <= end)
+                        for start, end in windows
+                    )
         return out
