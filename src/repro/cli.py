@@ -41,7 +41,9 @@ docs/routing.md), ``--kernel NAME`` (simulation kernel — ``bucket``,
 result cache; ``sweep`` caches by default, the other commands opt in
 via ``--cache-dir``), ``--faults SPEC`` (deterministic fault
 injection — link/switch failures and degradations, see
-docs/faults.md).  See docs/sweep.md for the job/cache model.
+docs/faults.md), ``--buffer-model NAME`` (switch buffer organisation —
+``static`` or ``shared``; unlike ``--kernel`` this changes results,
+see docs/buffers.md).  See docs/sweep.md for the job/cache model.
 
 Resilience options (docs/robustness.md): ``--timeout SECONDS``
 (per-cell wall-clock budget), ``--retries N`` (bounded retries with
@@ -74,6 +76,7 @@ from repro.experiments.report import (
     render_fault_matrix,
     render_fig8_summary,
     render_flow_table,
+    render_pfc_matrix,
     render_routing_grid,
     render_series,
     render_table,
@@ -144,6 +147,12 @@ def _add_engine_options(
                         "'kill:s0p4->s16p0@1.2ms' or "
                         "'degrade:LINK@2ms:bw=0.5,drop=0.01;seed=7' "
                         "(docs/faults.md; plans are part of the cache key)")
+    p.add_argument("--buffer-model", type=str, default=d(None), metavar="NAME",
+                   help="switch buffer organisation (static|shared, "
+                        "case-insensitive; default static, the paper's "
+                        "per-port partitioning).  Unlike --kernel this "
+                        "changes results and is part of the cache key "
+                        "(docs/buffers.md)")
 
 
 class _Parser(argparse.ArgumentParser):
@@ -321,6 +330,23 @@ def _resolve_kernel(args) -> Optional[str]:
         raise SystemExit(_unknown_name("simulator kernel", raw, KERNELS))
 
 
+def _resolve_buffer_model(args) -> Optional[str]:
+    """Parse/validate ``--buffer-model``: one registered model name,
+    matched case-insensitively.  Returns None when the flag was not
+    given; a typo prints a did-you-mean hint and exits 2 (same contract
+    as unknown schemes, routing policies and kernels)."""
+    raw = getattr(args, "buffer_model", None)
+    if not raw:
+        return None
+    from repro.network.buffers import buffer_model_names
+
+    names = buffer_model_names()
+    match = {n.casefold(): n for n in names}.get(raw.casefold())
+    if match is None:
+        raise SystemExit(_unknown_name("buffer model", raw, names))
+    return match
+
+
 def _single_routing(args, command: str) -> str:
     """Commands that run one cell take exactly one policy."""
     routings = _resolve_routings(args)
@@ -371,6 +397,7 @@ def _options(
         resume=args.resume,
         telemetry=telemetry,
         faults=faults,
+        buffer_model=_resolve_buffer_model(args),
     )
 
 
@@ -416,6 +443,8 @@ def _render_results(exp: Experiment, results: Dict[str, CaseResult], args) -> No
         print(render_routing_grid(results))
     elif exp.kind == "faults":
         print(render_fault_matrix(results))
+    elif exp.kind == "buffers":
+        print(render_pfc_matrix(results))
     else:
         print(render_flow_table(results, exp.flows))
     if args.csv:
@@ -470,11 +499,13 @@ def _case_schemes() -> tuple:
     return tuple(SCHEMES)
 
 
-def _result_key(scheme: str, routing: str, faults=None) -> str:
+def _result_key(scheme: str, routing: str, faults=None, buffer_model=None) -> str:
     """The key :meth:`Experiment.run` files a cell under."""
     key = scheme if routing == "det" else f"{scheme}@{routing}"
     if faults is not None:
         key += f"+{faults.label()}"
+    if buffer_model is not None and buffer_model != "static":
+        key += f"%{buffer_model}"
     return key
 
 
@@ -496,7 +527,7 @@ def _cmd_case(args) -> int:
     exp = registry.get(f"case{args.number}")
     opts = _options(args, cache_by_default=False, routing=routing)
     results, report = exp.run(schemes=(scheme,), options=opts)
-    key = _result_key(scheme, routing, opts.faults)
+    key = _result_key(scheme, routing, opts.faults, opts.buffer_model)
     if key in results:
         _print_case(results[key])
     if args.csv:
@@ -512,7 +543,7 @@ def _cmd_trees(args) -> int:
     exp = registry.get("case4")
     opts = _options(args, cache_by_default=False, routing=routing)
     results, report = exp.run(schemes=(scheme,), options=opts, num_trees=args.count)
-    key = _result_key(scheme, routing, opts.faults)
+    key = _result_key(scheme, routing, opts.faults, opts.buffer_model)
     if key in results:
         res = results[key]
         _print_case(res)
@@ -664,7 +695,7 @@ def _cmd_telemetry(args) -> int:
     )
     results, report = exp.run(schemes=(scheme,), routings=(routing,), options=opts)
     rc = _report_engine(report, opts, args)
-    res = results.get(_result_key(scheme, routing, opts.faults))
+    res = results.get(_result_key(scheme, routing, opts.faults, opts.buffer_model))
     if res is None or res.telemetry is None:
         print("telemetry: no bundle produced (cell failed?)", file=sys.stderr)
         return rc or 1

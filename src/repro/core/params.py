@@ -174,6 +174,30 @@ class CCParams:
     #: AdVOQ depth at the IA before the generator blocks (packets).
     advoq_cap_packets: int = 32
 
+    # -- buffer models / PFC (repro.network.buffers, docs/buffers.md) ----
+    #: how each switch carves up its RAM: "static" keeps the paper's
+    #: per-port partition (Table I; the golden default), "shared" pools
+    #: the whole switch behind dynamic thresholds + PFC headroom.
+    #: Validated against the registry when the fabric is built (the
+    #: registry lives in the network layer).
+    buffer_model: str = "static"
+    #: PFC priority groups per port (802.1Qbb allows up to 8; packets
+    #: map by ``dst % pfc_priorities``, like DBBM's bucket hash).
+    pfc_priorities: int = 4
+    #: dynamic-threshold scaling: a PG may hold up to
+    #: ``shared_alpha * free_shared`` bytes of the shared space.
+    shared_alpha: float = 2.0
+    #: guaranteed minimum per (port, priority-group), bytes.
+    shared_reserved: int = MTU
+    #: PFC headroom per port (bytes) — sized to absorb the bytes in
+    #: flight between XOFF emission and the upstream honouring it
+    #: (2 * MTU covers one serialising packet + one crossing the wire
+    #: at Table-I link delays).
+    pfc_headroom: int = 2 * MTU
+    #: XON hysteresis: resume once the PG's shared occupancy falls
+    #: below this fraction of its dynamic threshold.
+    pfc_xon_fraction: float = 0.5
+
     # -- adaptive routing (repro.network.routing) -----------------------
     #: flowlet idle gap (ns): the ``flowlet`` routing policy keeps a
     #: flow on its current path while consecutive packets arrive within
@@ -257,6 +281,23 @@ class CCParams:
             raise ParamError(f"flowlet_gap must be >= 0, got {self.flowlet_gap}")
         if self.islip_iterations < 1:
             raise ParamError("iSlip needs at least one iteration")
+        if not self.buffer_model:
+            raise ParamError("buffer_model must be a non-empty name")
+        if self.pfc_priorities < 1:
+            raise ParamError(f"pfc_priorities must be >= 1, got {self.pfc_priorities}")
+        if self.shared_alpha <= 0:
+            raise ParamError(f"shared_alpha must be positive, got {self.shared_alpha}")
+        if self.shared_reserved < 0:
+            raise ParamError(f"shared_reserved must be >= 0, got {self.shared_reserved}")
+        if self.pfc_headroom < self.mtu:
+            raise ParamError(
+                "pfc_headroom must hold at least one MTU (the packet in "
+                f"flight when XOFF lands), got {self.pfc_headroom}"
+            )
+        if not (0.0 < self.pfc_xon_fraction <= 1.0):
+            raise ParamError(
+                f"pfc_xon_fraction must be in (0, 1], got {self.pfc_xon_fraction}"
+            )
 
     def with_overrides(self, **kw) -> "CCParams":
         """Return a validated copy with fields replaced."""

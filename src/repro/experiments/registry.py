@@ -54,6 +54,12 @@ class Experiment:
     #: Empty means one scenario per grid — whatever the caller/options
     #: inject (usually none).
     faults: Tuple[Optional[FaultPlan], ...] = ()
+    #: default buffer-model axis (docs/buffers.md): registered model
+    #: names crossed with every cell (the ``datacenter_incast``
+    #: experiment pits static against shared).  Empty means one model
+    #: per grid — whatever the caller/options select (usually the
+    #: params default, "static").
+    buffer_models: Tuple[str, ...] = ()
 
     def jobs(
         self,
@@ -67,21 +73,26 @@ class Experiment:
         routing: str = "det",
         kernel=None,
         faults=None,
+        buffer_model=None,
         **overrides,
     ) -> List[SimJob]:
         """Decompose into one :class:`SimJob` per (scheme, routing,
-        fault-scenario) cell.  ``overrides`` update the static ``extra``
-        knobs (the ``trees`` CLI command overrides ``num_trees`` this
-        way).  The routing axis defaults to :attr:`routings`, falling
-        back to the single policy ``routing``; the fault axis defaults
-        to :attr:`faults`, falling back to the single plan ``faults``
-        (usually None)."""
+        fault-scenario, buffer-model) cell.  ``overrides`` update the
+        static ``extra`` knobs (the ``trees`` CLI command overrides
+        ``num_trees`` this way).  The routing axis defaults to
+        :attr:`routings`, falling back to the single policy
+        ``routing``; the fault axis defaults to :attr:`faults`, falling
+        back to the single plan ``faults`` (usually None); the buffer
+        axis defaults to :attr:`buffer_models`, falling back to the
+        single model ``buffer_model`` (usually None = params
+        default)."""
         extra = dict(self.extra)
         extra.update(overrides)
         axis = routings if routings is not None else self.routings
         if not axis:
             axis = (routing,)
         axis_f = self.faults if self.faults else (faults,)
+        axis_b = self.buffer_models if self.buffer_models else (buffer_model,)
         return [
             SimJob(
                 case=self.case,
@@ -94,10 +105,12 @@ class Experiment:
                 routing=r,
                 kernel=kernel,
                 faults=f,
+                buffer_model=b,
             )
             for s in (schemes if schemes is not None else self.schemes)
             for r in axis
             for f in axis_f
+            for b in axis_b
         ]
 
     def run(
@@ -118,7 +131,9 @@ class Experiment:
         ``"<scheme>@<routing>"`` for non-det cells, so single-policy
         grids keep their historical keys while routing grids stay
         unambiguous; fault-scenario cells append ``"+<plan label>"``
-        (the ``fault_resilience`` grid)."""
+        (the ``fault_resilience`` grid) and non-static buffer-model
+        cells append ``"%<model>"`` (the ``datacenter_incast``
+        grid)."""
         opts = options if options is not None else SweepOptions()
         jobs = self.jobs(
             schemes=schemes,
@@ -130,6 +145,7 @@ class Experiment:
             routing=opts.routing,
             kernel=opts.kernel,
             faults=getattr(opts, "faults", None),
+            buffer_model=getattr(opts, "buffer_model", None),
             **overrides,
         )
         report = run_sweep(jobs, options=opts)
@@ -142,6 +158,8 @@ class Experiment:
                 key += f"+{job.faults.label()}"
             elif self.faults:
                 key += "+none"  # the grid's fault-free baseline cell
+            if job.buffer_model is not None and job.buffer_model != "static":
+                key += f"%{job.buffer_model}"
             results[key] = res
         return results, report
 
@@ -239,3 +257,20 @@ register(Experiment("fault_resilience",
                     extra=(("num_trees", 1),),
                     routings=("det", "adaptive", "flowlet"),
                     faults=_FAULT_SCENARIOS))
+
+# ---------------------------------------------------------------- buffers
+# Datacenter stack vs CCFIT on the Fig. 8a incast (Config #3, one
+# congestion tree): the paper's congested-flow isolation schemes
+# against the RoCEv2 answer — shared switch memory with dynamic
+# thresholds and 802.1Qbb PAUSE (docs/buffers.md) — crossed with the
+# buffer organisation itself, so each scheme is measured both on the
+# paper's per-port partitioning and on the shared pool that makes PFC
+# bite.  ``report.render_pfc_matrix`` tabulates throughput alongside
+# the PAUSE-storm counters (pfc_pauses_sent, headroom peaks) and the
+# victim-flow bandwidth that shows PFC's congestion spreading.
+register(Experiment("datacenter_incast",
+                    "Scheme x buffer model on Config #3 (incast, PFC vs CCFIT)",
+                    case="case4", schemes=("ITh", "FBICM", "CCFIT", "PFC+RCM"),
+                    kind="buffers",
+                    extra=(("num_trees", 1),),
+                    buffer_models=("static", "shared")))

@@ -19,6 +19,7 @@ __all__ = [
     "render_fig8_summary",
     "render_routing_grid",
     "render_fault_matrix",
+    "render_pfc_matrix",
 ]
 
 
@@ -169,6 +170,49 @@ def render_fault_matrix(results: Dict[str, CaseResult]) -> str:
             }
         )
     header = "-- fault resilience: delivered fraction, drops, recovery --"
+    return header + "\n" + render_table(rows)
+
+
+def render_pfc_matrix(results: Dict[str, CaseResult]) -> str:
+    """One row per (scheme, buffer model) cell — the
+    ``datacenter_incast`` experiment's table.
+
+    ``results`` keys are ``"<scheme>[%<buffer model>]"`` as produced by
+    :meth:`repro.experiments.registry.Experiment.run` (no suffix =
+    static).  Columns: burst-window mean throughput, mean hot-flow
+    bandwidth (the victims PFC's congestion spreading starves), the
+    PAUSE-storm counters from
+    :meth:`repro.network.buffers.SharedBufferModel.stats`, and the
+    shared-pool / headroom peaks — all "-" for static cells, whose
+    per-port partitioning keeps no switch-wide state and never pauses.
+    """
+    rows = []
+    for key, res in results.items():
+        scheme, _, model = key.partition("%")
+        pauses = res.stats.get("pfc_pauses_sent")
+        hot = list(res.flow_bandwidth.values())
+        rows.append(
+            {
+                "scheme": scheme,
+                "buffers": model or res.buffer_model,
+                "burst": f"{res.mean_throughput():.1f}",
+                "hot_bw": f"{sum(hot) / len(hot):.3f}" if hot else "-",
+                "pauses": int(pauses) if pauses is not None else "-",
+                "resumes": (
+                    int(res.stats["pfc_resumes_sent"])
+                    if "pfc_resumes_sent" in res.stats else "-"
+                ),
+                "pool_peak": (
+                    int(res.stats["shared_pool_peak"])
+                    if "shared_pool_peak" in res.stats else "-"
+                ),
+                "headroom_peak": (
+                    int(res.stats["pfc_headroom_peak"])
+                    if "pfc_headroom_peak" in res.stats else "-"
+                ),
+            }
+        )
+    header = "-- datacenter incast: PAUSE storms and victim flows, scheme x buffers --"
     return header + "\n" + render_table(rows)
 
 

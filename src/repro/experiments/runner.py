@@ -94,6 +94,10 @@ class CaseResult:
     #: snapshot`) when the cell ran under a FaultPlan; None — and
     #: absent from the serialized form — otherwise (docs/faults.md).
     faults: Optional[Dict[str, Any]] = None
+    #: buffer model the cell's switches ran (docs/buffers.md).
+    #: Serialized only when not "static", so pre-buffer-model results
+    #: keep their bytes.
+    buffer_model: str = "static"
 
     def mean_throughput(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
         times, rates = self.throughput
@@ -129,6 +133,8 @@ class CaseResult:
             out["routing"] = self.routing
         if self.faults is not None:
             out["faults"] = self.faults
+        if self.buffer_model != "static":
+            out["buffer_model"] = self.buffer_model
         return out
 
     @classmethod
@@ -148,6 +154,7 @@ class CaseResult:
             telemetry=data.get("telemetry"),
             routing=data.get("routing", "det"),
             faults=data.get("faults"),
+            buffer_model=data.get("buffer_model", "static"),
         )
 
 
@@ -166,10 +173,39 @@ def _run(
     telemetry=None,
     routing: str = "det",
     faults=None,
+    buffer_model: Optional[str] = None,
 ) -> CaseResult:
     from repro.metrics.collector import Collector
 
+    if buffer_model is not None:
+        base = params if params is not None else CCParams()
+        if base.buffer_model != buffer_model:
+            params = base.with_overrides(buffer_model=buffer_model)
+    effective_model = (
+        params.buffer_model if params is not None else "static"
+    )
     sim = sim_factory() if sim_factory is not None else None
+    if effective_model != "static":
+        # Non-static models pace admissions with PAUSE/RESUME control
+        # events; the batched kernel's slot-fused sweep cannot honour
+        # mid-slot XOFF crossings, so fall back to the validated
+        # byte-identical ``bucket`` kernel — the same degradation path
+        # fault injection takes (docs/buffers.md).
+        from repro.sim.engine import Simulator
+
+        if sim is None:
+            sim = Simulator()
+        if sim.kernel == "batch":
+            import warnings
+
+            warnings.warn(
+                f"buffer model {effective_model!r} is not supported on the "
+                "'batch' kernel; falling back to the bucket kernel for "
+                "this cell",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            sim = Simulator(kernel="bucket")
     if faults is not None:
         # Fault injection needs the wire-drop hooks of the scalar
         # kernels; the batched kernel's fused delivery path has no
@@ -220,6 +256,7 @@ def _run(
         telemetry=sampler.bundle(duration) if sampler is not None else None,
         routing=fabric.routing,
         faults=fabric.faults.snapshot() if fabric.faults is not None else None,
+        buffer_model=fabric.buffer_model,
     )
     for spec in flows:
         result.flow_series[spec.name] = c.flow_series(spec.name, duration)
@@ -241,6 +278,7 @@ def _cell_case1(
     telemetry=None,
     routing: str = "det",
     faults=None,
+    buffer_model: Optional[str] = None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -258,6 +296,7 @@ def _cell_case1(
         telemetry=telemetry,
         routing=routing,
         faults=faults,
+        buffer_model=buffer_model,
     )
 
 
@@ -272,6 +311,7 @@ def _cell_case2(
     telemetry=None,
     routing: str = "det",
     faults=None,
+    buffer_model: Optional[str] = None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     return _run(
@@ -289,6 +329,7 @@ def _cell_case2(
         telemetry=telemetry,
         routing=routing,
         faults=faults,
+        buffer_model=buffer_model,
     )
 
 
@@ -303,6 +344,7 @@ def _cell_case3(
     telemetry=None,
     routing: str = "det",
     faults=None,
+    buffer_model: Optional[str] = None,
 ) -> CaseResult:
     duration = 10 * MS * time_scale
     flows, uniform = case3_traffic(time_scale=time_scale)
@@ -321,6 +363,7 @@ def _cell_case3(
         telemetry=telemetry,
         routing=routing,
         faults=faults,
+        buffer_model=buffer_model,
     )
 
 
@@ -337,6 +380,7 @@ def _cell_case4(
     telemetry=None,
     routing: str = "det",
     faults=None,
+    buffer_model: Optional[str] = None,
 ) -> CaseResult:
     duration = duration_ms * MS * time_scale
     flows, uniform = case4_traffic(num_trees=num_trees, time_scale=time_scale)
@@ -355,6 +399,7 @@ def _cell_case4(
         telemetry=telemetry,
         routing=routing,
         faults=faults,
+        buffer_model=buffer_model,
     )
 
 
@@ -379,6 +424,7 @@ def run_case(
     routing: Optional[str] = None,
     kernel: Optional[str] = None,
     faults=None,
+    buffer_model: Optional[str] = None,
     options=None,
     **extra,
 ) -> CaseResult:
@@ -416,6 +462,14 @@ def run_case(
     plan stays aligned with the traffic pattern at any scale.  Without
     a plan, results are byte-identical to a fault-free build
     (docs/faults.md).
+
+    ``buffer_model`` names a registered buffer model (``static`` /
+    ``shared``, docs/buffers.md); it defaults from
+    ``options.buffer_model`` and overrides ``params.buffer_model`` when
+    given.  ``None`` with default params runs the ``static`` golden
+    reference, byte-identical to pre-buffer-model results.  Non-static
+    models degrade from the ``batch`` kernel to ``bucket`` with a
+    ``RuntimeWarning``, like fault plans do.
     """
     if case not in _CELLS:
         raise KeyError(f"unknown case {case!r}; choose from {sorted(_CELLS)}")
@@ -432,6 +486,10 @@ def run_case(
         routing = "det" if routing is None else routing
     if faults is None and options is not None:
         faults = getattr(options, "faults", None)
+    if buffer_model is None and options is not None:
+        buffer_model = getattr(options, "buffer_model", None)
+    if buffer_model is not None:
+        extra["buffer_model"] = buffer_model
     if isinstance(faults, str):
         from repro.sim.faults import FaultPlan
 

@@ -135,6 +135,11 @@ class SweepOptions:
     #: None runs fault-free.  The plan is part of the cache key, so
     #: faulted and fault-free runs never serve each other's cells.
     faults: Optional[FaultPlan] = None
+    #: switch buffer organisation for cells that don't pin one
+    #: (docs/buffers.md); None defers to the params default ("static",
+    #: the paper's per-port partitioning).  Non-static models change
+    #: admission decisions, so the model is part of the cache key.
+    buffer_model: Optional[str] = None
 
     @property
     def cache_enabled(self) -> bool:
@@ -189,6 +194,11 @@ class SimJob:
     #: fault-free cell.  Times are at ``time_scale=1.0``; the runner
     #: scales them with the cell.
     faults: Optional[FaultPlan] = None
+    #: switch buffer organisation (docs/buffers.md); None defers to
+    #: the params default ("static").  Unlike ``kernel`` this *is*
+    #: part of the cache key: a shared-buffer cell admits, pauses and
+    #: therefore delivers differently from a static one.
+    buffer_model: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.case not in CASE_NAMES:
@@ -204,16 +214,18 @@ class SimJob:
         # deterministic routing on the default kernel.
         if name == "routing":
             return "det"
-        if name in ("kernel", "faults"):
+        if name in ("kernel", "faults", "buffer_model"):
             return None
         raise AttributeError(name)
 
     def payload(self) -> Dict[str, Any]:
         """Everything that determines this cell's output (the cache-key
         preimage); see docs/sweep.md for the field inventory.  The
-        ``telemetry`` key appears only when telemetry is enabled, and
-        the ``routing`` key only for non-default policies, so
-        pre-telemetry / pre-routing cache entries keep their keys.
+        ``telemetry`` key appears only when telemetry is enabled, the
+        ``routing`` key only for non-default policies, and the
+        ``buffer_model`` key only for non-static models, so
+        pre-telemetry / pre-routing / pre-buffer-model cache entries
+        keep their keys.
 
         ``kernel`` is deliberately **absent**: every kernel produces
         byte-identical results (the golden-equivalence contract, see
@@ -238,6 +250,8 @@ class SimJob:
             # unscaled plan + time_scale: the preimage is the *input*;
             # the runner derives the scaled plan deterministically.
             out["faults"] = self.faults.to_dict()
+        if self.buffer_model is not None and self.buffer_model != "static":
+            out["buffer_model"] = self.buffer_model
         return out
 
     def key(self) -> str:
@@ -256,6 +270,7 @@ class SimJob:
             routing=self.routing,
             kernel=self.kernel,
             faults=self.faults,
+            buffer_model=self.buffer_model,
             **dict(self.extra),
         )
 
@@ -268,6 +283,8 @@ class SimJob:
             base += f"#{self.kernel}"
         if self.faults is not None:
             base += f"+{self.faults.label()}"
+        if self.buffer_model is not None and self.buffer_model != "static":
+            base += f"%{self.buffer_model}"
         return base + (f"[{extra}]" if extra else "")
 
 

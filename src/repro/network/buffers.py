@@ -1,4 +1,4 @@
-"""Input-port RAM: shared buffer pool and packet queues.
+"""Input-port RAM: buffer pools, packet queues and buffer models.
 
 The evaluated switches are input-queued with one RAM per input port
 ("Memory Size 64 KBytes", Table I), *dynamically organised in queues*
@@ -10,16 +10,45 @@ The pool is the unit of credit-based link-level flow control: the
 upstream transmitter holds credits equal to the pool's free bytes, so
 the pool can never overflow — an invariant the test-suite checks both
 directly and via hypothesis.
+
+**Buffer models** (docs/buffers.md) decide how a whole switch's RAM is
+carved up.  The paper's architecture — and the default — is the
+``static`` model: every input port owns its private Table-I pool, and
+admission is exactly the pool-free check above.  The ``shared`` model
+instead arbitrates *one* switch-wide pool the datacenter way (the
+SONiC shared-headroom-pool design): per-(port, priority) reserved
+minimums, a dynamic threshold ``alpha * free`` on the shared space,
+and a PFC headroom account that absorbs the in-flight bytes arriving
+between an XOFF decision and the upstream honouring the PAUSE.  Models
+register through :func:`register_buffer_model` — mirroring the scheme
+(:func:`repro.core.ccfit.register_scheme`) and routing
+(:func:`repro.network.routing.register_policy`) registries — so the
+fabric builder, CLI and sweep engine discover them by name.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
-from repro.network.packet import Packet
+from repro.network.packet import Packet, PfcPause, PfcResume
 
-__all__ = ["BufferPool", "PacketQueue", "BufferError"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.switch import InputPort, Switch
+
+__all__ = [
+    "BufferPool",
+    "PacketQueue",
+    "BufferError",
+    "BufferModel",
+    "StaticBufferModel",
+    "SharedBufferModel",
+    "BufferModelSpec",
+    "register_buffer_model",
+    "get_buffer_model",
+    "buffer_model_names",
+    "BUFFER_MODELS",
+]
 
 
 class BufferError(RuntimeError):
@@ -68,6 +97,23 @@ class BufferPool:
             )
         self.used -= nbytes
 
+    # -- introspection hooks (guard / telemetry / watchdog dumps) -------
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-safe occupancy dump, same shape every fabric component
+        exposes (used/capacity/free)."""
+        return {"used": self.used, "capacity": self.capacity, "free": self.free}
+
+    def audit(self) -> None:
+        """Invariant-guard hook: the counters must describe a physical
+        RAM — ``0 <= used <= capacity``.  (Drift against queue contents
+        is the owning device's cross-check; the pool itself only knows
+        bytes.)"""
+        if not 0 <= self.used <= self.capacity:
+            raise BufferError(
+                f"pool accounting corrupt: used={self.used} outside "
+                f"[0, {self.capacity}]"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<BufferPool {self.used}/{self.capacity}B>"
 
@@ -110,24 +156,26 @@ class PacketQueue:
         return self.max_bytes is None or self.bytes + nbytes <= self.max_bytes
 
     # -- mutation ------------------------------------------------------
-    def push(self, pkt: Packet) -> None:
+    def _admit(self, pkt: Packet, where: str) -> None:
+        """Shared admission accounting for :meth:`push`/:meth:`push_front`
+        (cap check + byte and per-destination counters)."""
         if not self.fits(pkt.size):
             raise BufferError(
-                f"queue {self.name} overflow: {self.bytes}+{pkt.size} > {self.max_bytes}"
+                f"queue {self.name} overflow on {where}: "
+                f"{self.bytes}+{pkt.size} > {self.max_bytes}"
             )
-        self._q.append(pkt)
         self.bytes += pkt.size
         if self.dest_bytes is not None:
             self.dest_bytes[pkt.dst] = self.dest_bytes.get(pkt.dst, 0) + pkt.size
 
+    def push(self, pkt: Packet) -> None:
+        self._admit(pkt, "push")
+        self._q.append(pkt)
+
     def push_front(self, pkt: Packet) -> None:
         """Re-insert at the head (used only by unit tests and rollback)."""
-        if not self.fits(pkt.size):
-            raise BufferError(f"queue {self.name} overflow on push_front")
+        self._admit(pkt, "push_front")
         self._q.appendleft(pkt)
-        self.bytes += pkt.size
-        if self.dest_bytes is not None:
-            self.dest_bytes[pkt.dst] = self.dest_bytes.get(pkt.dst, 0) + pkt.size
 
     def pop(self) -> Packet:
         if not self._q:
@@ -170,3 +218,407 @@ class PacketQueue:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Q {self.name} n={len(self._q)} {self.bytes}B>"
+
+
+# ======================================================================
+# buffer models: how one switch's RAM is carved up (docs/buffers.md)
+# ======================================================================
+class BufferModel:
+    """Switch-wide buffer arbitration policy.
+
+    One instance is built per :class:`~repro.network.switch.Switch`
+    (``spec.build(switch)``) right after its ports exist and *before*
+    the queue schemes, so schemes see the final pool capacities.  The
+    base class is the identity — :meth:`attach` leaves every port on
+    its private Table-I pool and the default admission methods — which
+    is exactly the ``static`` model, so the hot path of the golden
+    configurations never pays for the abstraction.
+
+    A model that changes admission shadows the port's
+    ``can_accept``/``reserve``/``cancel_reservation``/``release_packet``
+    methods per instance (the same idiom ``Switch.__init__`` uses for
+    ``port.route``), keeping the device layer free of per-packet
+    branches on the model kind.
+    """
+
+    name = "static"
+
+    def __init__(self, switch: "Switch") -> None:
+        self.switch = switch
+
+    def attach(self) -> None:
+        """Install the model on the switch's ports (no-op for static)."""
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate counters for :meth:`Fabric.stats`; static returns
+        nothing so healthy stats dicts keep their seed bytes."""
+        return {}
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state for watchdog dumps."""
+        return {"model": self.name}
+
+    def audit(self) -> None:
+        """Invariant-guard hook; the static model has no state to drift."""
+
+
+class StaticBufferModel(BufferModel):
+    """The paper's per-port statically partitioned RAM (Table I) — the
+    golden reference and the default.  Everything stays on the
+    :class:`BufferPool` fast path."""
+
+
+class SharedBufferModel(BufferModel):
+    """One switch-wide pool with dynamic thresholds and PFC headroom.
+
+    Follows the SONiC/Broadcom shared-headroom-pool design:
+
+    * the switch RAM (``memory_size`` x num_ports) splits into a
+      *reserved* region (``shared_reserved`` bytes guaranteed to every
+      (port, priority) group), a *headroom* pool (``pfc_headroom`` x
+      num_ports, shared by all PGs), and the remaining *shared* space;
+    * a PG may draw shared bytes up to the dynamic threshold
+      ``alpha * free_shared`` (``shared_alpha``);
+    * when a PG can no longer admit one MTU it turns XOFF: a
+      :class:`~repro.network.packet.PfcPause` travels up the ingress
+      link and bytes arriving before the upstream honours it charge the
+      headroom pool;
+    * the PG turns XON (:class:`~repro.network.packet.PfcResume`) once
+      its headroom bytes drained and its shared occupancy fell below
+      ``pfc_xon_fraction`` of the dynamic threshold.  An *empty* PG
+      always satisfies both, so XOFF can never deadlock — the property
+      the hypothesis suite drives.
+
+    Per-port pools stay, re-sized to the switch total, so per-port byte
+    accounting (and the guard's credit-conservation check) is unchanged;
+    the model enforces the real capacity split on top.
+    """
+
+    name = "shared"
+
+    def __init__(self, switch: "Switch") -> None:
+        super().__init__(switch)
+        params = switch.params
+        n = switch.num_ports
+        self.nprios: int = getattr(params, "pfc_priorities", 4)
+        self.alpha: float = getattr(params, "shared_alpha", 2.0)
+        self.xon_fraction: float = getattr(params, "pfc_xon_fraction", 0.5)
+        self.mtu: int = params.mtu
+        self.total: int = params.memory_size * n
+        self.reserved_min: int = getattr(params, "shared_reserved", params.mtu)
+        self.headroom_capacity: int = getattr(params, "pfc_headroom", 2 * params.mtu) * n
+        reserved_total = self.reserved_min * n * self.nprios
+        self.shared_capacity: int = self.total - self.headroom_capacity - reserved_total
+        if self.shared_capacity < params.mtu:
+            raise ValueError(
+                f"{switch.name}: shared buffer model leaves {self.shared_capacity}B "
+                f"of shared space (total={self.total}B - headroom="
+                f"{self.headroom_capacity}B - reserved={reserved_total}B); "
+                f"lower shared_reserved/pfc_headroom or raise memory_size"
+            )
+        # per-(port, priority-group) byte decomposition: used = base
+        # (inside the reserved minimum) + shared + headroom.
+        self._base: List[List[int]] = [[0] * self.nprios for _ in range(n)]
+        self._shared: List[List[int]] = [[0] * self.nprios for _ in range(n)]
+        self._head: List[List[int]] = [[0] * self.nprios for _ in range(n)]
+        self._paused: List[List[bool]] = [[False] * self.nprios for _ in range(n)]
+        self.shared_used = 0
+        self.headroom_used = 0
+        # evaluation counters (the PAUSE-storm metrics).
+        self.pauses_sent = 0
+        self.resumes_sent = 0
+        self.headroom_peak = 0
+        self.shared_peak = 0
+
+    # -- wiring ---------------------------------------------------------
+    def attach(self) -> None:
+        for port in self.switch.input_ports:
+            port.pool = BufferPool(self.total)
+            self._install_hooks(port)
+
+    def _install_hooks(self, port: "InputPort") -> None:
+        model = self
+        nprios = self.nprios
+
+        def can_accept(pkt: Packet) -> bool:
+            return model.admissible(
+                port.index, pkt.dst % nprios, pkt.size
+            ) and port.scheme.can_accept_extra(pkt)
+
+        def reserve(pkt: Packet) -> None:
+            model.reserve_bytes(port, pkt)
+            port.scheme.reserve_extra(pkt)
+
+        def cancel_reservation(pkt: Packet) -> None:
+            model.release_bytes(port, pkt)
+            port.scheme.cancel_extra(pkt)
+
+        def release_packet(pkt: Packet) -> None:
+            model.release_bytes(port, pkt)
+
+        port.can_accept = can_accept
+        port.reserve = reserve
+        port.cancel_reservation = cancel_reservation
+        port.release_packet = release_packet
+
+    # -- admission ------------------------------------------------------
+    def priority(self, pkt: Packet) -> int:
+        """Priority group of a packet (destination-hashed, like DBBM's
+        bucket map — a stand-in for the DSCP/TC field real headers
+        carry)."""
+        return pkt.dst % self.nprios
+
+    def _shared_delta(self, p: int, g: int, size: int) -> int:
+        """Bytes of ``size`` that must come out of the shared space
+        after the PG's reserved minimum absorbed what it can."""
+        headroom_in_reserve = self.reserved_min - self._base[p][g]
+        if headroom_in_reserve >= size:
+            return 0
+        return size - max(0, headroom_in_reserve)
+
+    def _fits_unpaused(self, p: int, g: int, size: int) -> bool:
+        """Would ``size`` bytes be admitted to PG (p, g) under the
+        dynamic threshold (ignoring any PAUSE state)?"""
+        delta = self._shared_delta(p, g, size)
+        if delta == 0:
+            return True
+        free = self.shared_capacity - self.shared_used
+        if delta > free:
+            return False
+        return self._shared[p][g] + delta <= self.alpha * (free - delta)
+
+    def admissible(self, p: int, g: int, size: int) -> bool:
+        """May ``size`` bytes enter priority group ``g`` of port ``p``?
+        A paused PG only admits into the headroom pool (the in-flight
+        window); an unpaused PG admits into its reserve, then the
+        shared space under the ``alpha * free`` threshold."""
+        if self._paused[p][g]:
+            return self.headroom_used + size <= self.headroom_capacity
+        return self._fits_unpaused(p, g, size)
+
+    def reserve_bytes(self, port: "InputPort", pkt: Packet) -> None:
+        p, g, size = port.index, pkt.dst % self.nprios, pkt.size
+        port.pool.reserve(size)
+        if self._paused[p][g]:
+            # XOFF already sent: these bytes were in flight when the
+            # threshold crossed — they land in the headroom account.
+            self._head[p][g] += size
+            self.headroom_used += size
+            if self.headroom_used > self.headroom_peak:
+                self.headroom_peak = self.headroom_used
+            if self.headroom_used > self.headroom_capacity:
+                raise BufferError(
+                    f"{port.name}: PFC headroom overflow — "
+                    f"{self.headroom_used}B > {self.headroom_capacity}B"
+                )
+            return
+        take_base = min(size, self.reserved_min - self._base[p][g])
+        if take_base > 0:
+            self._base[p][g] += take_base
+        delta = size - max(0, take_base)
+        if delta > 0:
+            self._shared[p][g] += delta
+            self.shared_used += delta
+            if self.shared_used > self.shared_peak:
+                self.shared_peak = self.shared_used
+            if self.shared_used > self.shared_capacity:
+                raise BufferError(
+                    f"{port.name}: shared pool overflow — "
+                    f"{self.shared_used}B > {self.shared_capacity}B"
+                )
+        # XOFF threshold: the PG can no longer absorb one more MTU
+        # without headroom, so tell the upstream to stop this priority.
+        if not self._fits_unpaused(p, g, self.mtu):
+            self._paused[p][g] = True
+            self.pauses_sent += 1
+            port.send_upstream(PfcPause(g))
+
+    def release_bytes(self, port: "InputPort", pkt: Packet) -> None:
+        p, g, size = port.index, pkt.dst % self.nprios, pkt.size
+        port.pool.release(size)
+        # Drain LIFO against the admission order: headroom first (the
+        # newest bytes), then shared, then the reserved base.
+        take = min(size, self._head[p][g])
+        if take > 0:
+            self._head[p][g] -= take
+            self.headroom_used -= take
+            size -= take
+        take = min(size, self._shared[p][g])
+        if take > 0:
+            self._shared[p][g] -= take
+            self.shared_used -= take
+            size -= take
+        if size > 0:
+            if size > self._base[p][g]:
+                raise BufferError(
+                    f"{port.name}: shared-model underflow — releasing "
+                    f"{size}B beyond PG{g}'s {self._base[p][g]}B base"
+                )
+            self._base[p][g] -= size
+        # XON: all in-flight headroom bytes drained and the PG's shared
+        # occupancy fell below the hysteresis fraction of the dynamic
+        # threshold.  An empty PG trivially satisfies both, so a paused
+        # PG that drains completely always resumes (no XOFF deadlock).
+        if (
+            self._paused[p][g]
+            and self._head[p][g] == 0
+            and self._shared[p][g]
+            <= self.xon_fraction
+            * self.alpha
+            * (self.shared_capacity - self.shared_used)
+        ):
+            self._paused[p][g] = False
+            self.resumes_sent += 1
+            port.send_upstream(PfcResume(g))
+
+    # -- introspection ---------------------------------------------------
+    def pg_used(self, p: int, g: int) -> int:
+        """Bytes held by priority group ``g`` of port ``p``."""
+        return self._base[p][g] + self._shared[p][g] + self._head[p][g]
+
+    def paused_pairs(self) -> List[Tuple[int, int]]:
+        return [
+            (p, g)
+            for p, row in enumerate(self._paused)
+            for g, paused in enumerate(row)
+            if paused
+        ]
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "pfc_pauses_sent": float(self.pauses_sent),
+            "pfc_resumes_sent": float(self.resumes_sent),
+            "pfc_headroom_peak": float(self.headroom_peak),
+            "shared_pool_peak": float(self.shared_peak),
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "model": self.name,
+            "shared_used": self.shared_used,
+            "shared_capacity": self.shared_capacity,
+            "headroom_used": self.headroom_used,
+            "headroom_capacity": self.headroom_capacity,
+            "paused": [f"p{p}.pg{g}" for p, g in self.paused_pairs()],
+            "pauses_sent": self.pauses_sent,
+            "resumes_sent": self.resumes_sent,
+        }
+
+    def audit(self) -> None:
+        """Shared-pool conservation: the PG decomposition must re-sum to
+        every pool/account counter, caps must hold, and a PG that is
+        not paused must hold no headroom bytes."""
+        shared_sum = 0
+        head_sum = 0
+        for p, port in enumerate(self.switch.input_ports):
+            port_sum = 0
+            for g in range(self.nprios):
+                base, shared, head = self._base[p][g], self._shared[p][g], self._head[p][g]
+                if base < 0 or shared < 0 or head < 0:
+                    raise BufferError(
+                        f"{port.name}: negative PG{g} account "
+                        f"(base={base}, shared={shared}, headroom={head})"
+                    )
+                if base > self.reserved_min:
+                    raise BufferError(
+                        f"{port.name}: PG{g} base {base}B exceeds the "
+                        f"reserved minimum {self.reserved_min}B"
+                    )
+                if head and not self._paused[p][g]:
+                    raise BufferError(
+                        f"{port.name}: PG{g} holds {head}B of headroom "
+                        f"while not paused"
+                    )
+                port_sum += base + shared + head
+                shared_sum += shared
+                head_sum += head
+            if port_sum != port.pool.used:
+                raise BufferError(
+                    f"{port.name}: PG accounts sum to {port_sum}B but the "
+                    f"pool holds {port.pool.used}B"
+                )
+        if shared_sum != self.shared_used:
+            raise BufferError(
+                f"{self.switch.name}: shared_used={self.shared_used}B but "
+                f"PG shares sum to {shared_sum}B"
+            )
+        if head_sum != self.headroom_used:
+            raise BufferError(
+                f"{self.switch.name}: headroom_used={self.headroom_used}B "
+                f"but PG headrooms sum to {head_sum}B"
+            )
+        if self.shared_used > self.shared_capacity:
+            raise BufferError(
+                f"{self.switch.name}: shared pool over capacity "
+                f"({self.shared_used}B > {self.shared_capacity}B)"
+            )
+        if self.headroom_used > self.headroom_capacity:
+            raise BufferError(
+                f"{self.switch.name}: headroom pool over capacity "
+                f"({self.headroom_used}B > {self.headroom_capacity}B)"
+            )
+
+
+# ----------------------------------------------------------------------
+# the registry (mirrors the scheme / routing-policy registries)
+# ----------------------------------------------------------------------
+class BufferModelSpec:
+    """A named buffer model: ``build(switch)`` returns the per-switch
+    model instance.  Register with :func:`register_buffer_model`."""
+
+    __slots__ = ("name", "build", "description")
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[["Switch"], BufferModel],
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.build = build
+        self.description = description
+
+
+#: the live buffer-model registry (name -> spec), registration order.
+BUFFER_MODELS: Dict[str, BufferModelSpec] = {}
+
+
+def register_buffer_model(spec: BufferModelSpec, *, replace: bool = False) -> BufferModelSpec:
+    """Add ``spec`` to the registry; the fabric builder, CLI
+    (``--buffer-model``) and sweep engine discover it immediately.
+    Raises ``ValueError`` on a duplicate name unless ``replace=True``."""
+    if not spec.name:
+        raise ValueError("buffer model name must be non-empty")
+    if spec.name in BUFFER_MODELS and not replace:
+        raise ValueError(
+            f"buffer model {spec.name!r} is already registered "
+            f"(pass replace=True to shadow it)"
+        )
+    BUFFER_MODELS[spec.name] = spec
+    return spec
+
+
+def get_buffer_model(name: str) -> BufferModelSpec:
+    """Look up a registered buffer model (KeyError with the known names
+    on a miss)."""
+    try:
+        return BUFFER_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown buffer model {name!r}; choose from {sorted(BUFFER_MODELS)}"
+        ) from None
+
+
+def buffer_model_names() -> Tuple[str, ...]:
+    """Currently registered buffer-model names, in registration order."""
+    return tuple(BUFFER_MODELS)
+
+
+register_buffer_model(BufferModelSpec(
+    "static", StaticBufferModel,
+    description="per-port statically partitioned RAM (Table I; the paper)",
+))
+register_buffer_model(BufferModelSpec(
+    "shared", SharedBufferModel,
+    description="switch-wide shared pool: alpha*free thresholds + PFC headroom",
+))

@@ -40,6 +40,8 @@ from repro.network.packet import (
     CfqStop,
     ControlMessage,
     Packet,
+    PfcPause,
+    PfcResume,
     free_packet,
 )
 from repro.network.queueing import CongestionControlScheme, OneQScheme
@@ -192,6 +194,12 @@ class EndNode:
             self.throttle = ThrottleState(sim, params, on_release=self.pump)
 
         self._announced: Dict[int, OutputCamLine] = {}
+        #: priority groups the first switch has PFC-paused (shared
+        #: buffer model only); the injection arbiters skip matching
+        #: packets.  End nodes have one uplink, so the pause is
+        #: port-wide — exactly 802.1Qbb at a NIC.
+        self.paused_priorities: set = set()
+        self._nprios: int = max(1, getattr(params, "pfc_priorities", 4))
         self._stage_inflight: Optional[int] = None
         self._inject_scheduled = False
         self._pump_event = None
@@ -345,6 +353,10 @@ class EndNode:
 
     def _inject_staged(self, link: Link) -> None:
         heads = self.stage_scheme.eligible_heads()
+        paused = self.paused_priorities
+        if paused:
+            nprios = self._nprios
+            heads = [h for h in heads if (h[2].dst % nprios) not in paused]
         sendable = [(q, pkt) for q, _out, pkt in heads if link.can_send(pkt)]
         if not sendable:
             return
@@ -359,7 +371,10 @@ class EndNode:
 
     def _inject_bypass(self, link: Link) -> None:
         ptr = self._inject_ptr
+        paused = self.paused_priorities
         for dest in sorted(self._active_dests, key=lambda d: (d < ptr, d)):
+            if paused and (dest % self._nprios) in paused:
+                continue
             q = self.advoqs[dest]
             pkt = q.head()
             if pkt is None or not link.can_send(pkt):
@@ -404,6 +419,11 @@ class EndNode:
                 rec.stopped = False
         elif isinstance(msg, CfqDealloc):
             self._announced.pop(msg.destination, None)
+        elif isinstance(msg, PfcPause):
+            self.paused_priorities.add(msg.priority)
+        elif isinstance(msg, PfcResume):
+            self.paused_priorities.discard(msg.priority)
+            self.kick_injection()
         if self.stage_scheme is not None:
             self.stage_scheme.on_control_message(msg)
 
@@ -456,6 +476,8 @@ class EndNode:
         }
         if self.source_drops:
             entry["source_drops"] = self.source_drops
+        if self.paused_priorities:
+            entry["pfc_paused"] = sorted(self.paused_priorities)
         if self.fault_doomed:
             entry["fault_doomed"] = sorted(self.fault_doomed)
         if self.stage is not None:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from repro.core.ccfit import SchemeSpec, scheme_params
 from repro.core.params import CCParams
 from repro.metrics.collector import Collector
+from repro.network.buffers import buffer_model_names, get_buffer_model
 from repro.network.endnode import EndNode
 from repro.network.link import Link
 from repro.network.routing import RoutingPolicySpec, RoutingTable, get_policy
@@ -48,6 +49,9 @@ class Fabric:
     #: name of the routing policy every switch runs ("det" unless
     #: overridden — see :mod:`repro.network.routing`).
     routing: str = "det"
+    #: name of the buffer model every switch runs ("static" unless
+    #: overridden — see :mod:`repro.network.buffers` / docs/buffers.md).
+    buffer_model: str = "static"
     #: generators registered by the traffic layer (kept alive here).
     generators: List[object] = field(default_factory=list)
     #: invariant guard (see :mod:`repro.sim.guard`); None unless the
@@ -102,6 +106,11 @@ class Fabric:
             s["fault_wire_drops"] = self.faults.wire_drops()
             s["fault_source_drops"] = self.faults.source_drops()
             s["fault_link_events"] = len(self.faults.log)
+        # PFC/shared-pool statistics likewise ride only on non-static
+        # fabrics (static models report no counters).
+        for sw in self.switches:
+            for key, value in sw.buffer_model.stats().items():
+                s[key] = s.get(key, 0.0) + value
         return s
 
     def in_flight_packets(self) -> int:
@@ -164,6 +173,16 @@ def build_fabric(
         pre-fault builder.
     """
     spec, params = scheme_params(scheme, params)
+    # Validate the buffer-model name here (the registry lives in the
+    # network layer, so CCParams.validate cannot) for a clean error
+    # before any device is built.
+    try:
+        get_buffer_model(params.buffer_model)
+    except KeyError:
+        raise ValueError(
+            f"unknown buffer model {params.buffer_model!r}; registered "
+            f"models: {', '.join(buffer_model_names())}"
+        ) from None
     policy_spec = routing if isinstance(routing, RoutingPolicySpec) else get_policy(routing)
     sim = sim if sim is not None else Simulator()
     rngs = RngFactory(seed)
@@ -264,6 +283,7 @@ def build_fabric(
         collector=collector,
         rngs=rngs,
         routing=policy_spec.name,
+        buffer_model=params.buffer_model,
     )
     if faults is not None:
         # Deferred import: fault-free fabrics never load the module.

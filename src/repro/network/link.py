@@ -16,9 +16,15 @@ one per direction).  It bundles:
   credit counters is that the transmitter's view of free space is fresh
   rather than one round-trip stale (~40 ns against the millisecond-scale
   dynamics the paper evaluates).  Overflow is impossible by
-  construction and asserted downstream;
+  construction and asserted downstream.  The credit view is whatever
+  the receiver's ``can_accept`` answers: under the default static
+  buffer model that is raw per-port pool free bytes, while non-static
+  models (``repro.network.buffers``, docs/buffers.md) shadow the
+  receiver's admission methods so dynamic thresholds and PFC headroom
+  become the credit view with no change here;
 * a reverse **control channel** (CFQ Alloc/Dealloc/Stop/Go congestion
-  propagation, credit notifications) and a forward control channel
+  propagation, PFC Pause/Resume, credit notifications) and a forward
+  control channel
   (BECN hop-by-hop forwarding) — out-of-band, see
   :mod:`repro.network.packet` and DESIGN.md §2.
 * an **operational/degraded state machine** for fault injection

@@ -93,6 +93,11 @@ class FabricState:
         "active_rate",
         "rr_counter",
         "congested",
+        # per-switch shared-buffer accounting (zeros under the static
+        # model, which keeps no switch-wide state) ------------------
+        "shared_used",
+        "headroom_used",
+        "paused_pairs",
         # per-link (Fabric.links order) -----------------------------
         "link_bandwidth",
         "link_busy_until",
@@ -124,9 +129,18 @@ class FabricState:
         active_rate: List[float] = []
         rr_counter: List[int] = []
         congested: List[int] = []
+        shared_used: List[int] = []
+        headroom_used: List[int] = []
+        paused_pairs: List[int] = []
         for s, sw in enumerate(fabric.switches):
             switch_base.append(len(port_switch))
             num_ports.append(sw.num_ports)
+            model = sw.buffer_model
+            shared_used.append(getattr(model, "shared_used", 0))
+            headroom_used.append(getattr(model, "headroom_used", 0))
+            paused_pairs.append(
+                len(model.paused_pairs()) if hasattr(model, "paused_pairs") else 0
+            )
             for port in sw.input_ports:
                 port_switch.append(s)
                 port_index.append(port.index)
@@ -174,6 +188,9 @@ class FabricState:
             active_rate=_f64(active_rate),
             rr_counter=_i64(rr_counter),
             congested=_u8(congested),
+            shared_used=_i64(shared_used),
+            headroom_used=_i64(headroom_used),
+            paused_pairs=_i64(paused_pairs),
             link_bandwidth=_f64(link_bandwidth),
             link_busy_until=_f64(link_busy_until),
             link_bytes_sent=_i64(link_bytes_sent),
@@ -216,6 +233,9 @@ class FabricState:
             "congested_ports": float(self.congested_ports()),
             "in_flight": float(self.in_flight),
             "bytes_sent": float(sum(self.link_bytes_sent)),
+            "shared_used": float(sum(self.shared_used)),
+            "headroom_used": float(sum(self.headroom_used)),
+            "paused_pairs": float(sum(self.paused_pairs)),
         }
 
 

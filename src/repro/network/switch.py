@@ -36,7 +36,7 @@ from repro.core.cam import OutputCam, OutputCamLine
 from repro.core.params import CCParams
 from repro.core.scheme import MarkingPolicy
 from repro.network.arbiter import ISlip
-from repro.network.buffers import BufferPool
+from repro.network.buffers import BufferPool, get_buffer_model
 from repro.network.link import Link
 from repro.network.packet import (
     Becn,
@@ -46,6 +46,8 @@ from repro.network.packet import (
     CfqStop,
     ControlMessage,
     Packet,
+    PfcPause,
+    PfcResume,
 )
 from repro.network.queueing import CongestionControlScheme
 from repro.network.routing import DetRoutingPolicy, RoutingPolicy, RoutingTable
@@ -125,6 +127,12 @@ class InputPort:
         self.switch.output_ports[out].set_hot((self.index, "root", dest), hot)
 
     # -- link receiver endpoint -------------------------------------------
+    # The upstream link's credit view (`Link.can_send`) is whatever
+    # `can_accept` answers.  The defaults below implement the static
+    # buffer model (raw per-port pool bytes); non-static models shadow
+    # all four methods per instance (BufferModel.attach) so their
+    # admission logic becomes the credit view with no extra branch on
+    # the golden path.
     def can_accept(self, pkt: Packet) -> bool:
         return self.pool.free >= pkt.size and self.scheme.can_accept_extra(pkt)
 
@@ -138,6 +146,11 @@ class InputPort:
         packet ever arriving, keeping the credit ledger balanced."""
         self.pool.release(pkt.size)
         self.scheme.cancel_extra(pkt)
+
+    def release_packet(self, pkt: Packet) -> None:
+        """Free the buffer bytes of a packet whose tail has left the
+        input RAM (transmission complete)."""
+        self.pool.release(pkt.size)
 
     def receive_packet(self, pkt: Packet, link: Link) -> None:
         self.packets_received += 1
@@ -162,6 +175,10 @@ class OutputPort:
         #: who keeps this port in the congestion state (root CFQs above
         #: High for CCFIT, hot VOQs for ITh) — congested while non-empty.
         self.hot_sources: set = set()
+        #: priority groups the downstream device has PFC-paused; the
+        #: matcher skips heads bound here on these priorities.  Always
+        #: empty under the static buffer model.
+        self.paused_priorities: set = set()
         #: the (input port, packet) currently crossing to this output.
         self.current: Optional[Tuple[InputPort, Packet]] = None
         self.entered_congestion_state = 0
@@ -262,6 +279,17 @@ class Switch:
         self.marker = marker
         self.input_ports = [InputPort(self, i) for i in range(num_ports)]
         self.output_ports = [OutputPort(self, i) for i in range(num_ports)]
+        #: how this switch's RAM is carved up (docs/buffers.md).  Built
+        #: and attached before the queue schemes so they see the final
+        #: pool capacities (VOQnet sizes its queues off pool.capacity).
+        self.buffer_model = get_buffer_model(
+            getattr(params, "buffer_model", "static")
+        ).build(self)
+        self.buffer_model.attach()
+        self._nprios: int = getattr(params, "pfc_priorities", 4)
+        #: count of PFC-paused (output, priority) pairs; the matcher's
+        #: pause filter costs one truthiness check while this is 0.
+        self._paused_pairs = 0
         for port in self.input_ports:
             port.scheme = scheme_factory(port)
             # Shadow the generic InputPort.route with the policy's
@@ -334,6 +362,8 @@ class Switch:
         candidates: Dict[Tuple[int, int], List[Tuple[object, Packet]]] = {}
         output_ports = self.output_ports
         min_bw = self._min_link_bw
+        paused = self._paused_pairs > 0
+        nprios = self._nprios
         for port in self.input_ports:
             # The scheme caches this list between mutations, so an idle
             # port costs one truthiness check per round.
@@ -346,6 +376,8 @@ class Switch:
             outs: List[int] = []
             pidx = port.index
             for queue, out, pkt in heads:
+                if paused and (pkt.dst % nprios) in output_ports[out].paused_priorities:
+                    continue
                 link = output_ports[out].link_out
                 if link is None or not link.can_send(pkt):
                     continue
@@ -422,7 +454,7 @@ class Switch:
         port.active_rate -= rate
         if port.active_rate < 1e-12:
             port.active_rate = 0.0
-        port.pool.release(pkt.size)
+        port.release_packet(pkt)
         if port.link_in is not None:
             port.link_in.return_credit(pkt.size)
         self.kick()
@@ -447,6 +479,20 @@ class Switch:
         elif isinstance(msg, CfqDealloc):
             if out_port.out_cam.lookup(msg.destination) is not None:
                 out_port.out_cam.free(msg.destination)
+        elif isinstance(msg, PfcPause):
+            # Stamp the egress the XOFF arrived on so the fan-out below
+            # (and the PFC queue scheme) can pause just this (output,
+            # priority) pair; the sender only knows its ingress.
+            msg.out_port = out_port.index
+            if msg.priority not in out_port.paused_priorities:
+                out_port.paused_priorities.add(msg.priority)
+                self._paused_pairs += 1
+        elif isinstance(msg, PfcResume):
+            msg.out_port = out_port.index
+            if msg.priority in out_port.paused_priorities:
+                out_port.paused_priorities.discard(msg.priority)
+                self._paused_pairs -= 1
+                self.kick()
         else:  # pragma: no cover - unknown control is a wiring bug
             raise TypeError(f"unexpected reverse control {msg!r}")
         for port in self.input_ports:
@@ -482,10 +528,11 @@ class Switch:
         congestion state of every output port."""
         inputs = []
         for port in self.input_ports:
+            pool = port.pool.snapshot()
             entry: Dict[str, object] = {
                 "name": port.name,
-                "pool_used": port.pool.used,
-                "pool_capacity": port.pool.capacity,
+                "pool_used": pool["used"],
+                "pool_capacity": pool["capacity"],
                 "active_rate": port.active_rate,
             }
             entry.update(port.scheme.snapshot())
@@ -505,9 +552,12 @@ class Switch:
                     },
                 }
             )
-        return {
+        dump: Dict[str, object] = {
             "switch": self.name,
             "routing": self.policy.snapshot(),
             "inputs": inputs,
             "outputs": outputs,
         }
+        if self.buffer_model.name != "static":
+            dump["buffer_model"] = self.buffer_model.snapshot()
+        return dump

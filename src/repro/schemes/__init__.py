@@ -10,5 +10,6 @@ table.  They double as the worked example for ``docs/schemes.md``.
 """
 
 from repro.schemes.rcm import RCM, QueueDepthMarking, RcmGate
+from repro.schemes.pfc import PFC, PFC_RCM, PfcQueueScheme
 
-__all__ = ["RCM", "QueueDepthMarking", "RcmGate"]
+__all__ = ["RCM", "QueueDepthMarking", "RcmGate", "PFC", "PFC_RCM", "PfcQueueScheme"]

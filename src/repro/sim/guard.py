@@ -18,6 +18,11 @@ turns those properties into executable checks:
 * **CFQ allocate/deallocate balance and CAM consistency** — via the
   ``audit()`` hooks on :class:`repro.core.cam.InputCam` and
   :class:`repro.core.isolation.NfqCfqScheme`;
+* **shared-pool conservation** (non-static buffer models,
+  docs/buffers.md) — per switch, the per-(port, priority-group) byte
+  decomposition re-sums to every pool and headroom counter, a PG that
+  is not paused holds no headroom bytes, and the XOFF ledger balances
+  (pauses − resumes == currently paused pairs);
 * **CCTI bounds** — every throttle index stays inside the CCT and
   every raised index keeps a live decay timer
   (:meth:`repro.core.throttling.ThrottleState.audit`);
@@ -193,12 +198,19 @@ class FabricGuard:
     def _check_ports(self, out: List[str]) -> None:
         """Credit/buffer conservation and CFQ/CAM consistency at every
         switch input port, plus the routing policy's own audit (every
-        candidate set minimal and non-empty)."""
+        candidate set minimal and non-empty) and the buffer model's
+        shared-pool conservation (PG decomposition re-sums to every
+        pool counter; a PAUSE-free PG holds no headroom bytes)."""
         for sw in self.fabric.switches:
             try:
                 sw.policy.audit()
             except Exception as exc:  # TopologyError
                 out.append(f"{sw.name}: {exc}")
+            try:
+                sw.buffer_model.audit()
+            except Exception as exc:  # BufferError
+                out.append(f"{sw.name}: {exc}")
+            self._check_pause_discipline(sw, out)
             reading: Dict[int, int] = {}
             for op in sw.output_ports:
                 if op.current is not None:
@@ -241,6 +253,24 @@ class FabricGuard:
                         f"+ crossbar({reading.get(port.index, 0)}) + "
                         f"wire({wire}) = {expected}B"
                     )
+
+    def _check_pause_discipline(self, sw, out: List[str]) -> None:
+        """PFC conservation for non-static buffer models: every PAUSE is
+        eventually matched by exactly one RESUME, so the XOFF ledger
+        (pauses - resumes) must equal the count of currently paused
+        (port, priority) pairs — a drifted ledger means a lost or
+        duplicated control message (a deadlocked PG upstream)."""
+        paused_pairs = getattr(sw.buffer_model, "paused_pairs", None)
+        if paused_pairs is None:
+            return
+        open_pauses = sw.buffer_model.pauses_sent - sw.buffer_model.resumes_sent
+        if open_pauses != len(paused_pairs()):
+            out.append(
+                f"{sw.name}: PFC ledger drift — {sw.buffer_model.pauses_sent} "
+                f"pauses vs {sw.buffer_model.resumes_sent} resumes leaves "
+                f"{open_pauses} open, but {len(paused_pairs())} pairs are "
+                f"marked paused"
+            )
 
     def _check_nodes(self, out: List[str]) -> None:
         """IA stage accounting and throttle-table sanity per end node."""
