@@ -1,0 +1,191 @@
+"""Benchmarks of the distributed sweep fabric's coordination costs.
+
+The fabric's value is fanning simulation cells out to pull workers;
+these benches pin down what the coordination itself costs:
+
+* **broker dispatch latency** — the submit -> claim -> complete cycle
+  with the simulation stubbed out.  This is pure protocol: atomic
+  renames, O_EXCL markers, event-log appends.  It bounds how small a
+  cell can be before the fabric stops paying for itself.
+* **cells/s, service vs in-process** — the same tiny sweep grid run
+  (a) through ``run_sweep`` on a local process pool and (b) through a
+  filesystem broker with ``repro worker`` subprocesses.  The ratio is
+  the fabric's end-to-end overhead on real cells.
+
+Two entry points over the same measurements:
+
+* **standalone** — ``PYTHONPATH=src python benchmarks/bench_service.py``
+  prints one JSON row per benchmark and writes ``BENCH_service.json``
+  (``--quick`` shrinks the grid for CI; ``--out PATH`` moves the
+  report).
+* **pytest-benchmark** — ``pytest benchmarks/bench_service.py`` runs
+  statistical versions of the protocol micro-pieces.
+"""
+
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.experiments.sweep import SimJob, SweepOptions, run_sweep
+from repro.service import FsBroker, job_from_spec, job_to_spec
+
+SCALE = 0.02
+#: a result-shaped payload for protocol-only benches (never simulated).
+STUB_RESULT = {"scheme": "1Q", "stub": True}
+
+
+def grid(n: int):
+    """n distinct cache keys: same tiny cell at n different seeds."""
+    return [SimJob(case="case1", scheme="1Q", time_scale=SCALE, seed=1000 + i)
+            for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark: protocol micro-pieces
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def job() -> SimJob:
+    return grid(1)[0]
+
+
+def test_spec_roundtrip(benchmark, job):
+    """job -> wire spec -> job (per cell leased over HTTP)."""
+    revived = benchmark(lambda: job_from_spec(job_to_spec(job)))
+    assert revived.key() == job.key()
+
+
+def test_broker_dispatch_cycle(benchmark, tmp_path_factory, job):
+    """submit -> claim -> complete, simulation stubbed out."""
+    broker = FsBroker(tmp_path_factory.mktemp("broker"))
+
+    def cycle():
+        broker.submit([job], experiment="bench")
+        lease = broker.claim("bench-worker")
+        broker.complete(lease.key, "bench-worker", STUB_RESULT)
+        # drop the done marker so the next round re-enqueues
+        os.unlink(broker.root / "done" / f"{lease.key}.json")
+        broker.cache.path(lease.key).unlink()
+        return lease
+
+    assert benchmark(cycle).key == job.key()
+
+
+# ----------------------------------------------------------------------
+# standalone JSON-row mode
+# ----------------------------------------------------------------------
+def bench_dispatch(cells: int) -> dict:
+    """Protocol-only dispatch cost over a fresh broker directory."""
+    jobs = grid(cells)
+    with tempfile.TemporaryDirectory() as d:
+        broker = FsBroker(d)
+        t0 = time.perf_counter()
+        broker.submit(jobs, experiment="bench")
+        submitted = time.perf_counter()
+        while (lease := broker.claim("bench-worker")) is not None:
+            broker.complete(lease.key, "bench-worker", STUB_RESULT)
+        done = time.perf_counter()
+    return {
+        "bench": "broker_dispatch",
+        "cells": cells,
+        "submit_ms_per_cell": (submitted - t0) * 1e3 / cells,
+        "dispatch_ms_per_cell": (done - submitted) * 1e3 / cells,
+        "cycles_per_s": cells / (done - submitted),
+    }
+
+
+def bench_inprocess(jobs, workers: int) -> dict:
+    with tempfile.TemporaryDirectory() as d:
+        opts = SweepOptions(jobs=workers, cache_dir=os.path.join(d, "cache"))
+        t0 = time.perf_counter()
+        report = run_sweep(jobs, options=opts)
+        elapsed = time.perf_counter() - t0
+    assert report.failed == 0, "in-process baseline failed cells"
+    return {
+        "bench": "sweep_inprocess",
+        "cells": len(jobs),
+        "workers": workers,
+        "elapsed_s": elapsed,
+        "cells_per_s": len(jobs) / elapsed,
+    }
+
+
+def bench_service(jobs, workers: int) -> dict:
+    """The same grid through a filesystem broker + worker subprocesses."""
+    per_worker = math.ceil(len(jobs) / workers)
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.abspath(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    with tempfile.TemporaryDirectory() as d:
+        broker = FsBroker(os.path.join(d, "broker"))
+        t0 = time.perf_counter()
+        run = broker.submit(jobs, experiment="bench")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "worker",
+                 "--broker", os.path.join(d, "broker"),
+                 "--id", f"bench-w{i}", "--max-cells", str(per_worker),
+                 "--idle-exit", "2", "--poll-interval", "0.05"],
+                env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            for i in range(workers)
+        ]
+        for p in procs:
+            p.wait()
+        elapsed = time.perf_counter() - t0
+        status = broker.run_status(run.id)
+    assert status["done"], "service sweep did not finish"
+    assert status["counts"].get("done", 0) == len(jobs), status["counts"]
+    return {
+        "bench": "sweep_service",
+        "cells": len(jobs),
+        "workers": workers,
+        "elapsed_s": elapsed,
+        "cells_per_s": len(jobs) / elapsed,
+    }
+
+
+def json_rows(quick: bool = False):
+    dispatch_cells = 50 if quick else 200
+    sweep_cells = 2 if quick else 6
+    workers = 2
+    rows = [bench_dispatch(dispatch_cells)]
+    jobs = grid(sweep_cells)
+    inproc = bench_inprocess(jobs, workers)
+    service = bench_service(jobs, workers)
+    rows += [inproc, service]
+    rows.append({
+        "bench": "service_overhead",
+        "cells": sweep_cells,
+        "value": service["elapsed_s"] / inproc["elapsed_s"],
+        "note": "service wall-clock over in-process wall-clock (>1 = slower); "
+                "includes worker subprocess startup, so shrinks as cells grow",
+    })
+    return rows
+
+
+def main(argv=None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    quick = "--quick" in args
+    out = "BENCH_service.json"
+    if "--out" in args:
+        out = args[args.index("--out") + 1]
+    rows = json_rows(quick=quick)
+    for row in rows:
+        print(json.dumps(row))
+    with open(out, "w") as fh:
+        json.dump({"quick": quick, "rows": rows}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,21 @@ Commands
     ``--telemetry`` / ``--telemetry-interval NS`` to attach sampling
     without changing results (bundles ride on the cached results).
     See docs/telemetry.md.
+``serve --broker DIR --port 8642``
+    Long-running service front-end: submit experiments over HTTP
+    (``POST /experiments``), stream cell-level progress as NDJSON/SSE,
+    fetch cached ``CaseResult``\\ s, scrape live Prometheus
+    ``/metrics``, and lease cells to pull workers.  See
+    docs/service.md.
+``worker --broker URL``
+    Pull-based sweep worker: lease cells from a broker (a shared
+    directory or an ``http://`` ``repro serve`` endpoint), execute
+    them with the standard retry/timeout machinery, publish results
+    into the shared content-addressed cache.  See docs/service.md.
+``cache [--dir PATH] [--prune ...]``
+    Shared-cache hygiene: occupancy stats, ``--prune`` by
+    ``--older-than AGE`` and/or ``--max-size SIZE``, ``--quarantined``
+    to list quarantined entries, ``--clear`` to drop everything.
 
 Common options: ``--scale`` (time compression, default 0.3),
 ``--seed``, ``--csv PATH`` (dump the throughput series),
@@ -261,6 +276,99 @@ def build_parser() -> argparse.ArgumentParser:
                       help="export format: jsonl | prom | html | all (default all)")
     tele.add_argument("--interval", type=float, default=100_000.0, metavar="NS",
                       help="sampling period in ns (default 100000)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP service front-end (submit / stream / fetch / metrics)",
+        description="Long-running service mode: an HTTP front-end over a shared "
+                    "filesystem broker.  Submit experiments (POST /experiments), "
+                    "stream cell-level progress (GET /runs/<id>/events, NDJSON or "
+                    "SSE), fetch cached CaseResults and telemetry bundles, scrape "
+                    "live Prometheus /metrics, and lease cells to `repro worker` "
+                    "processes over the /broker/* endpoints (see docs/service.md).",
+    )
+    serve.add_argument("--broker", default=None, metavar="DIR",
+                       help="broker state directory (default: $REPRO_BROKER_DIR "
+                            "or ~/.cache/repro-broker)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (default 8642; 0 picks a free port)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared result cache (default: the standard sweep "
+                            "cache, so service results and in-process sweeps "
+                            "memoize into one namespace)")
+    serve.add_argument("--lease-ttl", type=float, default=60.0, metavar="S",
+                       help="seconds without a heartbeat before a leased cell "
+                            "is requeued (default 60)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull-based sweep worker: lease cells from a broker and run them",
+        description="Lease cells from a broker — a shared directory or an "
+                    "http:// `repro serve` endpoint — execute them with the "
+                    "standard retry/timeout machinery, and publish results into "
+                    "the shared content-addressed cache.  Workers are "
+                    "crash-safe: a worker that dies mid-cell stops "
+                    "heartbeating, its lease expires, and the cell is requeued "
+                    "for another worker (see docs/service.md).",
+    )
+    worker.add_argument("--broker", required=True, metavar="URL",
+                        help="broker to lease from: a directory path (or "
+                             "dir://PATH) for direct filesystem access, or the "
+                             "http://HOST:PORT of a `repro serve` instance")
+    worker.add_argument("--id", default=None, dest="worker_id", metavar="NAME",
+                        help="worker identity recorded in manifests "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-cell wall-clock timeout; runs each cell in a "
+                             "quarantined child process")
+    worker.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="in-worker retries per cell before giving the "
+                             "lease back as failed (default 2)")
+    worker.add_argument("--heartbeat", type=float, default=None, metavar="S",
+                        help="heartbeat period while running a cell "
+                             "(default: lease ttl / 4)")
+    worker.add_argument("--poll-interval", type=float, default=0.5, metavar="S",
+                        help="idle sleep between claim attempts (default 0.5)")
+    worker.add_argument("--max-cells", type=int, default=None, metavar="N",
+                        help="exit after completing N cells")
+    worker.add_argument("--idle-exit", type=float, default=None, metavar="S",
+                        help="exit after S seconds with nothing to claim "
+                             "(default: run until interrupted)")
+    worker.add_argument("--journal", default=None, metavar="PATH",
+                        help="also append completed cells to a local JSONL "
+                             "journal (same format as `repro sweep --journal`)")
+
+    cache = sub.add_parser(
+        "cache",
+        help="result-cache hygiene: stats, prune by age/size, quarantine list",
+        description="Inspect and maintain the shared content-addressed result "
+                    "cache.  With no flags prints occupancy stats; --prune "
+                    "removes entries by --older-than age and/or evicts oldest "
+                    "entries until the cache fits --max-size.",
+    )
+    cache.add_argument("--dir", default=None, dest="cache_dir", metavar="PATH",
+                       help="cache directory (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-sweep)")
+    cache.add_argument("--prune", action="store_true",
+                       help="remove entries per --older-than / --max-size "
+                            "(with neither, prunes only quarantined entries)")
+    cache.add_argument("--older-than", default=None, metavar="AGE",
+                       help="age threshold for --prune, e.g. 45s, 30m, 12h, 7d")
+    cache.add_argument("--max-size", default=None, metavar="SIZE",
+                       help="size budget for --prune, e.g. 64K, 500M, 2G "
+                            "(oldest entries evicted first)")
+    cache.add_argument("--keep-quarantine", action="store_true",
+                       help="leave quarantined entries alone while pruning")
+    cache.add_argument("--quarantined", action="store_true",
+                       help="list quarantined (corrupt) entries and exit")
+    cache.add_argument("--clear", action="store_true",
+                       help="remove every entry (including quarantine)")
+    cache.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit machine-readable JSON instead of a table")
 
     for sp in (fig, case, trees, sweep, tele):
         _add_engine_options(sp, suppress=True)
@@ -716,6 +824,139 @@ def _cmd_telemetry(args) -> int:
     return rc
 
 
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+_SIZE_UNITS = {"b": 1, "k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def _parse_age(text: str) -> float:
+    """``"45s" | "30m" | "12h" | "7d"`` (or bare seconds) -> seconds."""
+    m = re.fullmatch(r"\s*([0-9]*\.?[0-9]+)\s*([smhd]?)\s*", text, re.IGNORECASE)
+    if not m:
+        raise ValueError(f"bad age {text!r} (expected e.g. 45s, 30m, 12h, 7d)")
+    return float(m.group(1)) * _AGE_UNITS.get(m.group(2).lower(), 1.0)
+
+
+def _parse_size(text: str) -> int:
+    """``"64K" | "500M" | "2G"`` (or bare bytes) -> bytes."""
+    m = re.fullmatch(r"\s*([0-9]*\.?[0-9]+)\s*([bkmg]?)b?\s*", text, re.IGNORECASE)
+    if not m:
+        raise ValueError(f"bad size {text!r} (expected e.g. 64K, 500M, 2G)")
+    return int(float(m.group(1)) * _SIZE_UNITS.get(m.group(2).lower(), 1))
+
+
+def default_broker_dir() -> str:
+    """``$REPRO_BROKER_DIR`` or ``~/.cache/repro-broker``."""
+    env = os.environ.get("REPRO_BROKER_DIR")
+    return env if env else os.path.join(os.path.expanduser("~"), ".cache", "repro-broker")
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    try:
+        serve(
+            args.broker or default_broker_dir(),
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir or default_cache_dir(),
+            lease_ttl=args.lease_ttl,
+            verbose=args.verbose,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.experiments.resilience import RetryPolicy
+    from repro.service import Worker
+
+    policy = RetryPolicy(max_retries=max(0, args.retries))
+    worker = Worker(
+        args.broker,
+        worker_id=args.worker_id,
+        policy=policy,
+        timeout=args.timeout,
+        heartbeat_interval=args.heartbeat,
+        poll_interval=args.poll_interval,
+        journal=args.journal,
+        max_cells=args.max_cells,
+        idle_exit=args.idle_exit,
+    )
+    try:
+        summary = worker.run()
+    except KeyboardInterrupt:
+        summary = {"worker": worker.id, "completed": worker.completed,
+                   "failed": worker.failed, "elapsed": None}
+    print(
+        f"worker {summary['worker']}: {summary['completed']} completed, "
+        f"{summary['failed']} failed"
+    )
+    return 0 if summary["failed"] == 0 else 1
+
+
+def _cmd_cache(args) -> int:
+    import json as _json
+
+    from repro.experiments.sweep import ResultCache
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.quarantined:
+        import time as _time
+
+        now = _time.time()
+        rows = [
+            {"name": name, "bytes": size, "age_s": round(now - mtime, 1)}
+            for name, size, mtime in cache.quarantined()
+        ]
+        if args.as_json:
+            print(_json.dumps(rows, indent=2))
+        elif rows:
+            print(render_table(rows))
+        else:
+            print("cache: no quarantined entries")
+        return 0
+    if args.clear:
+        summary = cache.prune(max_age_s=0.0, include_quarantine=True)
+        print(f"cache: removed {summary['removed'] + summary['quarantine_removed']} "
+              f"entries, freed {summary['freed_bytes']} bytes")
+        return 0
+    if args.prune:
+        try:
+            max_age = _parse_age(args.older_than) if args.older_than else None
+            max_bytes = _parse_size(args.max_size) if args.max_size else None
+        except ValueError as exc:
+            print(f"cache: {exc}", file=sys.stderr)
+            return 2
+        summary = cache.prune(
+            max_age_s=max_age,
+            max_bytes=max_bytes,
+            include_quarantine=not args.keep_quarantine,
+        )
+        if args.as_json:
+            print(_json.dumps(summary, indent=2))
+        else:
+            print(
+                f"cache: pruned {summary['removed']} entries "
+                f"(+{summary['quarantine_removed']} quarantined), "
+                f"freed {summary['freed_bytes']} bytes"
+            )
+        return 0
+    stats = cache.stats()
+    if args.as_json:
+        print(_json.dumps(stats, indent=2))
+    else:
+        print(render_table([{
+            "entries": stats["entries"],
+            "bytes": stats["bytes"],
+            "oldest": f"{stats['oldest_age_s']:.0f}s" if stats["oldest_age_s"] is not None else "-",
+            "newest": f"{stats['newest_age_s']:.0f}s" if stats["newest_age_s"] is not None else "-",
+            "quarantined": stats["quarantined"],
+        }]))
+        print(f"cache dir: {stats['root']}")
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig": _cmd_fig,
@@ -724,6 +965,9 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "perf": _cmd_perf,
     "telemetry": _cmd_telemetry,
+    "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "cache": _cmd_cache,
 }
 
 

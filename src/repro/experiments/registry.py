@@ -19,7 +19,7 @@ from repro.experiments.runner import CaseResult
 from repro.experiments.sweep import SimJob, SweepOptions, SweepReport, run_sweep
 from repro.sim.faults import FaultPlan
 
-__all__ = ["Experiment", "register", "get", "names", "experiments", "REGISTRY"]
+__all__ = ["Experiment", "register", "get", "names", "experiments", "describe", "REGISTRY"]
 
 #: Fig. 9 plots Case #1's victim + contributors; Fig. 10 Case #2's five flows.
 CASE1_FLOWS = ("F0", "F1", "F2", "F5", "F6")
@@ -189,6 +189,31 @@ def names() -> Tuple[str, ...]:
 
 def experiments() -> Tuple[Experiment, ...]:
     return tuple(REGISTRY.values())
+
+
+def describe() -> List[Dict[str, Any]]:
+    """JSON-safe descriptors of every registered experiment — the
+    registry as an API surface (``GET /experiments`` on ``repro
+    serve``).  Fault-plan axes are reported by label (plans themselves
+    are not part of the submission protocol; they arrive as spec
+    strings)."""
+    out: List[Dict[str, Any]] = []
+    for exp in REGISTRY.values():
+        out.append({
+            "name": exp.name,
+            "title": exp.title,
+            "case": exp.case,
+            "kind": exp.kind,
+            "schemes": list(exp.schemes),
+            "routings": list(exp.routings) or ["det"],
+            "buffer_models": list(exp.buffer_models) or ["static"],
+            "faults": [
+                plan.label() if plan is not None else "none" for plan in exp.faults
+            ] or ["none"],
+            "extra": dict(exp.extra),
+            "flows": list(exp.flows),
+        })
+    return out
 
 
 # ---------------------------------------------------------------- figures

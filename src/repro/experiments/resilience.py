@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -114,17 +115,26 @@ class RetryPolicy:
 def execute_job(job) -> Dict[str, Any]:
     """Worker entry point: run one cell, ship back a structured record.
 
-    Successful cells return ``{"ok": True, "result": <CaseResult dict>}``
-    (the same serialized form the cache stores, so parallel, journaled
-    and cached paths share one decode path).  Exceptions inside the
+    Successful cells return ``{"ok": True, "result": <CaseResult dict>,
+    "elapsed": <wall-clock s>, "worker": "pid<n>"}`` (the result in the
+    same serialized form the cache stores, so parallel, journaled and
+    cached paths share one decode path; the elapsed/worker fields feed
+    the manifest's timing attribution).  Exceptions inside the
     simulation return ``{"ok": False, "error": {...}}`` instead of
     surfacing as bare pool failures — the parent decides whether to
     retry.  ``KeyboardInterrupt`` (and other ``BaseException``\\ s such
     as ``SystemExit``) are re-raised so interruption propagates
     promptly.
     """
+    t0 = time.perf_counter()
     try:
-        return {"ok": True, "key": job.key(), "result": job.run().to_dict()}
+        return {
+            "ok": True,
+            "key": job.key(),
+            "result": job.run().to_dict(),
+            "elapsed": time.perf_counter() - t0,
+            "worker": f"pid{os.getpid()}",
+        }
     except Exception as exc:
         return {
             "ok": False,

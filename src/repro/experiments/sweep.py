@@ -381,14 +381,22 @@ class ResultCache:
             return None
 
     def put(self, key: str, result: CaseResult, job: Optional[SimJob] = None) -> None:
-        result_dict = result.to_dict()
+        self.put_dict(key, result.to_dict(), job_payload=job.payload() if job is not None else None)
+
+    def put_dict(
+        self, key: str, result_dict: Dict[str, Any], job_payload: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Store an already-serialized result (the worker/service path
+        receives dicts over the wire; re-hydrating just to re-serialize
+        would be waste).  Same atomic-write + digest envelope as
+        :meth:`put`."""
         payload: Dict[str, Any] = {
             "schema": 2,
             "sha256": self._digest(result_dict),
             "result": result_dict,
         }
-        if job is not None:
-            payload["job"] = job.payload()
+        if job_payload is not None:
+            payload["job"] = job_payload
         tmp = self.path(key).with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, self.path(key))
@@ -405,6 +413,102 @@ class ResultCache:
             except OSError:  # pragma: no cover - concurrent clear
                 pass
         return n
+
+    # -- hygiene (the `repro cache` subcommand) ------------------------
+    def entries(self) -> List[Tuple[str, int, float]]:
+        """``(key, size_bytes, mtime)`` per entry, oldest first."""
+        out: List[Tuple[str, int, float]] = []
+        for p in self.root.glob("*.json"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            out.append((p.stem, st.st_size, st.st_mtime))
+        out.sort(key=lambda e: e[2])
+        return out
+
+    def quarantined(self) -> List[Tuple[str, int, float]]:
+        """``(name, size_bytes, mtime)`` per quarantined file."""
+        out: List[Tuple[str, int, float]] = []
+        if not self.quarantine_dir.is_dir():
+            return out
+        for p in self.quarantine_dir.iterdir():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            out.append((p.name, st.st_size, st.st_mtime))
+        out.sort(key=lambda e: e[2])
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-safe summary: entry/byte totals and age extremes —
+        what ``repro cache`` prints for a shared namespace."""
+        entries = self.entries()
+        quarantined = self.quarantined()
+        now = time.time()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(size for _k, size, _m in entries),
+            "oldest_age_s": (now - entries[0][2]) if entries else None,
+            "newest_age_s": (now - entries[-1][2]) if entries else None,
+            "quarantined": len(quarantined),
+            "quarantined_bytes": sum(size for _n, size, _m in quarantined),
+        }
+
+    def prune(
+        self,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        include_quarantine: bool = True,
+    ) -> Dict[str, int]:
+        """Evict entries older than ``max_age_s``, then — oldest first —
+        until the namespace fits ``max_bytes``.  Quarantined files are
+        pruned by the same age rule (they are evidence, not results —
+        they never count toward the size budget).  Returns removal
+        accounting."""
+        removed = freed = 0
+        now = time.time()
+        entries = self.entries()
+        if max_age_s is not None:
+            cutoff = now - max_age_s
+            keep: List[Tuple[str, int, float]] = []
+            for key, size, mtime in entries:
+                if mtime < cutoff:
+                    try:
+                        self.path(key).unlink()
+                        removed += 1
+                        freed += size
+                    except OSError:
+                        pass
+                else:
+                    keep.append((key, size, mtime))
+            entries = keep
+        if max_bytes is not None:
+            total = sum(size for _k, size, _m in entries)
+            for key, size, _mtime in entries:  # oldest first
+                if total <= max_bytes:
+                    break
+                try:
+                    self.path(key).unlink()
+                    removed += 1
+                    freed += size
+                    total -= size
+                except OSError:
+                    pass
+        q_removed = 0
+        if include_quarantine and max_age_s is not None:
+            cutoff = now - max_age_s
+            for name, size, mtime in self.quarantined():
+                if mtime < cutoff:
+                    try:
+                        (self.quarantine_dir / name).unlink()
+                        q_removed += 1
+                        freed += size
+                    except OSError:
+                        pass
+        return {"removed": removed, "freed_bytes": freed, "quarantine_removed": q_removed}
 
 
 @dataclass
@@ -439,6 +543,15 @@ class SweepReport:
     cache_discarded: int = 0
     #: human-readable execution notes (e.g. unenforceable timeouts).
     notes: List[str] = field(default_factory=list)
+    #: per-cell wall-clock seconds, aligned with :attr:`jobs` (None for
+    #: cells served from cache/journal or failed).  Recorded so the
+    #: manifest and the service progress stream agree on timing
+    #: attribution.
+    cell_elapsed: List[Optional[float]] = field(default_factory=list)
+    #: per-cell executor id, aligned with :attr:`jobs`: ``"pid<n>"``
+    #: for simulated cells, ``"cache"``/``"journal"`` for replayed
+    #: ones, None for failed cells.
+    cell_workers: List[Optional[str]] = field(default_factory=list)
 
     @property
     def ok(self) -> int:
@@ -478,15 +591,18 @@ class SweepReport:
         docs/robustness.md for the schema)."""
         failed_keys = {f.key for f in self.failures}
         cells = []
-        for job, res in zip(self.jobs, self.results):
+        for i, (job, res) in enumerate(zip(self.jobs, self.results)):
             key = job.key()
-            cells.append(
-                {
-                    "label": job.label(),
-                    "key": key,
-                    "status": "failed" if key in failed_keys and res is None else "ok",
-                }
-            )
+            cell = {
+                "label": job.label(),
+                "key": key,
+                "status": "failed" if key in failed_keys and res is None else "ok",
+            }
+            if i < len(self.cell_workers) and self.cell_workers[i] is not None:
+                cell["worker"] = self.cell_workers[i]
+            if i < len(self.cell_elapsed) and self.cell_elapsed[i] is not None:
+                cell["elapsed_s"] = self.cell_elapsed[i]
+            cells.append(cell)
         return {
             "schema": 1,
             "cells": len(self.jobs),
@@ -560,10 +676,21 @@ class _SweepRun:
         self.retried = 0
         self.degraded = False
         self.notes: List[str] = []
+        self.cell_elapsed: List[Optional[float]] = [None] * len(jobs)
+        self.cell_workers: List[Optional[str]] = [None] * len(jobs)
 
     # -- bookkeeping ---------------------------------------------------
-    def complete(self, i: int, result: CaseResult, result_dict: Optional[Dict] = None) -> None:
+    def complete(
+        self,
+        i: int,
+        result: CaseResult,
+        result_dict: Optional[Dict] = None,
+        elapsed: Optional[float] = None,
+        worker: Optional[str] = None,
+    ) -> None:
         self.results[i] = result
+        self.cell_elapsed[i] = elapsed
+        self.cell_workers[i] = worker
         if self.cache is not None:
             self.cache.put(self.keys[i], result, job=self.jobs[i])
         if self.journal is not None:
@@ -598,6 +725,7 @@ class _SweepRun:
             attempt = 0
             while True:
                 attempt += 1
+                t0 = time.perf_counter()
                 try:
                     result = self.jobs[i].run()
                 except KeyboardInterrupt:
@@ -612,7 +740,11 @@ class _SweepRun:
                     )
                     break
                 else:
-                    self.complete(i, result)
+                    self.complete(
+                        i, result,
+                        elapsed=time.perf_counter() - t0,
+                        worker=f"pid{os.getpid()}",
+                    )
                     break
 
     # -- quarantined (isolated single-worker) execution ----------------
@@ -635,7 +767,10 @@ class _SweepRun:
                 self.run_serial([i])
                 return
             if record.get("ok"):
-                self.complete(i, CaseResult.from_dict(record["result"]), record["result"])
+                self.complete(
+                    i, CaseResult.from_dict(record["result"]), record["result"],
+                    elapsed=record.get("elapsed"), worker=record.get("worker"),
+                )
                 return
             if attempt <= self.policy.max_retries:
                 self.backoff(attempt, i)
@@ -735,7 +870,8 @@ class _SweepRun:
                             continue
                         if record.get("ok"):
                             self.complete(
-                                i, CaseResult.from_dict(record["result"]), record["result"]
+                                i, CaseResult.from_dict(record["result"]), record["result"],
+                                elapsed=record.get("elapsed"), worker=record.get("worker"),
                             )
                         elif attempt <= self.policy.max_retries:
                             self.backoff(attempt, i)
@@ -807,12 +943,14 @@ def run_sweep(jobs: Sequence[SimJob], *, options: Optional[SweepOptions] = None)
         rec = journaled.get(keys[i])
         if rec is not None:
             run.results[i] = CaseResult.from_dict(rec["result"])
+            run.cell_workers[i] = "journal"
             resumed += 1
             continue
         if cache is not None:
             found = cache.get(keys[i])
             if found is not None:
                 run.results[i] = found
+                run.cell_workers[i] = "cache"
                 hits += 1
                 continue
         pending.append(i)
@@ -849,4 +987,6 @@ def run_sweep(jobs: Sequence[SimJob], *, options: Optional[SweepOptions] = None)
         degraded=run.degraded,
         cache_discarded=cache.discarded if cache is not None else 0,
         notes=run.notes,
+        cell_elapsed=run.cell_elapsed,
+        cell_workers=run.cell_workers,
     )

@@ -1,0 +1,56 @@
+"""Distributed sweep fabric + long-running service front-end.
+
+The sweep engine (:mod:`repro.experiments.sweep`) treats an experiment
+as a grid of independent :class:`~repro.experiments.sweep.SimJob`
+cells; this package lets those cells leave the machine:
+
+* :mod:`repro.service.api` — the wire protocol: a lossless JSON codec
+  for ``SimJob`` (:func:`~repro.service.api.job_to_spec` /
+  :func:`~repro.service.api.job_from_spec`), the event-record shapes,
+  and the thin HTTP clients (:class:`~repro.service.api.ServiceClient`
+  for submitters, :class:`~repro.service.api.HttpBroker` for workers);
+* :mod:`repro.service.broker` — :class:`~repro.service.broker.FsBroker`,
+  a filesystem-backed shared queue with atomic-rename claims, lease
+  expiry + exactly-once requeue, heartbeats and idempotent completion
+  keyed by the content-addressed cache key;
+* :mod:`repro.service.worker` — :class:`~repro.service.worker.Worker`,
+  the pull-based executor behind ``repro worker --broker URL``,
+  reusing the PR 3 resilience machinery (retries with deterministic
+  backoff, quarantine/timeout isolation, journal) per lease;
+* :mod:`repro.service.server` — ``repro serve``: a stdlib
+  ``ThreadingHTTPServer`` front-end to submit experiments
+  (``POST /experiments``), stream cell-level progress as NDJSON/SSE
+  (``GET /runs/<id>/events``), fetch cached ``CaseResult``\\ s and
+  telemetry bundles, and scrape live Prometheus metrics
+  (``GET /metrics``).
+
+Determinism contract: a cell executed by a remote worker is the same
+``SimJob.run()`` the in-process engine calls, completed into the same
+content-addressed cache — results are byte-identical to an in-process
+sweep, however many workers raced for the lease.  See
+``docs/service.md``.
+"""
+
+from repro.service.api import (
+    HttpBroker,
+    ServiceClient,
+    connect_broker,
+    job_from_spec,
+    job_to_spec,
+)
+from repro.service.broker import FsBroker, Lease
+from repro.service.server import ServiceServer, serve
+from repro.service.worker import Worker
+
+__all__ = [
+    "FsBroker",
+    "HttpBroker",
+    "Lease",
+    "ServiceClient",
+    "ServiceServer",
+    "Worker",
+    "connect_broker",
+    "job_from_spec",
+    "job_to_spec",
+    "serve",
+]

@@ -1,0 +1,525 @@
+"""Filesystem-backed shared job queue with leases.
+
+The broker is a directory; every mutation is an atomic filesystem
+operation, so any number of worker processes (and the ``repro serve``
+front-end) can share it without a coordinator:
+
+* **enqueue** — a pending cell is one ``queue/<key>.json`` file
+  (atomic tmp+rename write), keyed by the cell's content-addressed
+  cache key, so enqueueing the same cell twice is naturally collapsed;
+* **claim** — a worker takes a cell by ``os.rename``-ing it from
+  ``queue/`` to ``active/``: rename is atomic, exactly one claimant
+  wins, losers see ``FileNotFoundError`` and move on;
+* **heartbeat** — the lease is alive while the worker keeps touching
+  the ``active/`` file's mtime; a worker that dies simply stops;
+* **reap** — anyone may sweep ``active/`` for leases whose mtime has
+  fallen ``lease_ttl`` behind and rename them back to ``queue/``
+  (again atomic — the expired cell is requeued *exactly once* however
+  many reapers race).  A cell that keeps losing its lease moves to
+  ``failed/`` after ``max_requeues`` with a synthetic ``LeaseExpired``
+  failure instead of looping forever;
+* **complete** — the worker publishes the ``CaseResult`` into the
+  shared content-addressed :class:`~repro.experiments.sweep.ResultCache`
+  namespace and stamps a ``done/<key>.json`` marker created with
+  ``O_EXCL`` — a duplicate completion (a slow worker finishing a cell
+  that was requeued and re-finished) is a structural no-op: the cache
+  write is byte-identical by construction and the marker creation
+  simply loses the race;
+* **events** — every transition appends one NDJSON line to
+  ``events.jsonl`` (single ``O_APPEND`` writes), the progress stream
+  ``repro serve`` tails.
+
+Nothing here interprets a result: the broker moves opaque job specs
+(:func:`repro.service.api.job_to_spec`) and accounts for their state.
+See ``docs/service.md`` for the on-disk layout and protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.sweep import ResultCache, SimJob
+
+__all__ = ["FsBroker", "Lease", "default_worker_id"]
+
+#: lease requeues tolerated before a cell is declared lost.
+DEFAULT_MAX_REQUEUES = 3
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>``: stable for a worker process's lifetime, unique
+    enough across a small fleet, and meaningful in manifests."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class Lease:
+    """One claimed cell: the spec to run plus lease bookkeeping."""
+
+    key: str
+    spec: Dict[str, Any]
+    worker: str
+    #: 1-based delivery attempt (grows on every lease-expiry requeue).
+    attempt: int = 1
+    #: seconds of heartbeat silence before the lease expires.
+    ttl: float = 60.0
+
+
+@dataclass
+class RunRecord:
+    """One submitted experiment: the cells it expands to."""
+
+    id: str
+    experiment: str
+    created: float
+    keys: List[str] = field(default_factory=list)
+    labels: Dict[str, str] = field(default_factory=dict)
+    #: cells satisfied straight from the cache at submit time.
+    cached: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "experiment": self.experiment,
+            "created": self.created,
+            "keys": self.keys,
+            "labels": self.labels,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        return cls(
+            id=data["id"],
+            experiment=data.get("experiment", "?"),
+            created=float(data.get("created", 0.0)),
+            keys=list(data.get("keys", ())),
+            labels=dict(data.get("labels", {})),
+            cached=list(data.get("cached", ())),
+        )
+
+
+def _write_atomic(path: Path, payload: Dict[str, Any]) -> None:
+    tmp = path.with_suffix(f".tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}")
+    tmp.write_text(json.dumps(payload, separators=(",", ":")))
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+class FsBroker:
+    """A shared-directory broker (see module docstring).
+
+    ``cache_dir`` is the shared :class:`ResultCache` namespace every
+    worker publishes into; it defaults to ``<root>/cache`` so a broker
+    directory is self-contained, but pointing it at an existing sweep
+    cache makes in-process and distributed runs share cells.
+    """
+
+    def __init__(
+        self,
+        root,
+        cache_dir: Optional[str] = None,
+        lease_ttl: float = 60.0,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+    ) -> None:
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self.max_requeues = int(max_requeues)
+        for sub in ("queue", "active", "done", "failed", "runs"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(cache_dir if cache_dir is not None else self.root / "cache")
+        self.events_path = self.root / "events.jsonl"
+
+    # -- paths ---------------------------------------------------------
+    def _queued(self, key: str) -> Path:
+        return self.root / "queue" / f"{key}.json"
+
+    def _active(self, key: str) -> Path:
+        return self.root / "active" / f"{key}.json"
+
+    def _done(self, key: str) -> Path:
+        return self.root / "done" / f"{key}.json"
+
+    def _failed(self, key: str) -> Path:
+        return self.root / "failed" / f"{key}.json"
+
+    def _run_path(self, run_id: str) -> Path:
+        return self.root / "runs" / f"{run_id}.json"
+
+    # -- event log -----------------------------------------------------
+    def _event(self, kind: str, key: str = "", **detail: Any) -> None:
+        rec = {"t": time.time(), "kind": kind}
+        if key:
+            rec["key"] = key
+        rec.update({k: v for k, v in detail.items() if v is not None})
+        line = json.dumps(rec, separators=(",", ":")) + "\n"
+        # one O_APPEND write per line: atomic for sane line lengths on
+        # every local filesystem, so concurrent workers never interleave.
+        fd = os.open(self.events_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Decode the event log, skipping any torn trailing line."""
+        try:
+            text = self.events_path.read_text()
+        except FileNotFoundError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                continue
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        jobs: List[SimJob],
+        experiment: str = "adhoc",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> RunRecord:
+        """Register a run and enqueue every cell not already satisfied.
+
+        Cells whose key is already in the shared cache (or already
+        completed through the broker) are recorded as cache hits and
+        never enqueued — the content-addressed namespace is the dedup.
+        Cells already queued/active (e.g. a concurrent run submitted
+        the same grid) are joined, not duplicated.
+        """
+        from repro.service.api import job_to_spec
+
+        run = RunRecord(
+            id=uuid.uuid4().hex[:12],
+            experiment=experiment,
+            created=time.time(),
+        )
+        for job in jobs:
+            key = job.key()
+            run.keys.append(key)
+            run.labels[key] = job.label()
+            if self._done(key).exists() or self.cache.get(key) is not None:
+                run.cached.append(key)
+                self._event("cached", key, run=run.id, label=job.label())
+                continue
+            if self._active(key).exists() or self._queued(key).exists():
+                self._event("joined", key, run=run.id, label=job.label())
+                continue
+            record = {
+                "key": key,
+                "spec": job_to_spec(job),
+                "label": job.label(),
+                "attempt": 1,
+                "submitted": time.time(),
+            }
+            _write_atomic(self._queued(key), record)
+            self._event("enqueue", key, run=run.id, label=job.label())
+        _write_atomic(self._run_path(run.id), run.to_dict())
+        self._event("submit", run=run.id, experiment=experiment, cells=len(run.keys),
+                    cached=len(run.cached))
+        return run
+
+    # -- worker protocol ----------------------------------------------
+    def claim(self, worker: str) -> Optional[Lease]:
+        """Lease the oldest pending cell, or None when the queue is
+        empty.  Claiming is an atomic rename: exactly one of any number
+        of racing workers wins each cell."""
+        queue_dir = self.root / "queue"
+        try:
+            names = sorted(
+                queue_dir.iterdir(), key=lambda p: (p.stat().st_mtime, p.name)
+            )
+        except OSError:
+            names = []
+        for path in names:
+            if path.suffix != ".json":
+                continue
+            key = path.stem
+            target = self._active(key)
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # someone else won this cell; try the next
+            # rename preserves the queue file's mtime; refresh it so the
+            # lease clock starts *now*, then stamp the claimant.
+            os.utime(target)
+            record = _read_json(target) or {"key": key, "spec": None, "attempt": 1}
+            record["worker"] = worker
+            record["leased_at"] = time.time()
+            _write_atomic(target, record)
+            if record.get("spec") is None:
+                # an unreadable queue entry cannot be executed; fail it
+                # loudly rather than bouncing it between states.
+                self._fail_record(key, record, {
+                    "exception": "BadJobSpec",
+                    "message": "queue entry had no decodable job spec",
+                    "kind": "error",
+                })
+                continue
+            self._event("claim", key, worker=worker, attempt=record.get("attempt", 1))
+            return Lease(
+                key=key,
+                spec=record["spec"],
+                worker=worker,
+                attempt=int(record.get("attempt", 1)),
+                ttl=self.lease_ttl,
+            )
+        return None
+
+    def heartbeat(self, key: str, worker: str) -> bool:
+        """Refresh a lease; False when the lease is no longer held by
+        ``worker`` (expired and requeued, completed elsewhere, ...)."""
+        path = self._active(key)
+        record = _read_json(path)
+        if record is None or record.get("worker") != worker:
+            return False
+        try:
+            os.utime(path)
+        except OSError:
+            return False
+        return True
+
+    def complete(
+        self,
+        key: str,
+        worker: str,
+        result: Dict[str, Any],
+        elapsed: Optional[float] = None,
+    ) -> bool:
+        """Publish a finished cell: result into the shared cache, a
+        ``done`` marker for accounting.  Idempotent — the first
+        completion wins the ``O_EXCL`` marker; duplicates (a requeued
+        cell finished twice) return False and change nothing, which is
+        exactly right because the cache entry is content-addressed and
+        byte-identical either way."""
+        self.cache.put_dict(key, result)
+        marker = {
+            "key": key,
+            "worker": worker,
+            "elapsed": elapsed,
+            "finished": time.time(),
+        }
+        try:
+            fd = os.open(self._done(key), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            self._event("duplicate", key, worker=worker)
+            self._cleanup(key)
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(marker, separators=(",", ":")))
+        self._cleanup(key)
+        self._event("complete", key, worker=worker, elapsed=elapsed)
+        return True
+
+    def fail(self, key: str, worker: str, failure: Dict[str, Any]) -> None:
+        """Record a cell whose worker gave up (retries exhausted)."""
+        record = _read_json(self._active(key)) or {"key": key}
+        failure = dict(failure)
+        failure.setdefault("worker", worker)
+        self._fail_record(key, record, failure)
+
+    def _fail_record(self, key: str, record: Dict[str, Any], failure: Dict[str, Any]) -> None:
+        payload = {
+            "key": key,
+            "label": record.get("label", key[:12]),
+            "attempt": record.get("attempt", 1),
+            "failed": time.time(),
+            **failure,
+        }
+        _write_atomic(self._failed(key), payload)
+        self._cleanup(key)
+        self._event("fail", key, worker=failure.get("worker"),
+                    exception=failure.get("exception"))
+
+    def _cleanup(self, key: str) -> None:
+        for path in (self._active(key), self._queued(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- lease reaping -------------------------------------------------
+    def reap(self, now: Optional[float] = None) -> Tuple[int, int]:
+        """Requeue every expired lease; returns ``(requeued, lost)``.
+
+        Expiry is judged by the ``active/`` file's mtime (the heartbeat
+        target).  The rename back to ``queue/`` is atomic, so however
+        many processes reap concurrently, an expired cell is requeued
+        exactly once.  A cell requeued more than ``max_requeues`` times
+        is declared lost with a synthetic ``LeaseExpired`` failure.
+        """
+        now = time.time() if now is None else now
+        requeued = lost = 0
+        active_dir = self.root / "active"
+        try:
+            entries = list(active_dir.iterdir())
+        except OSError:
+            return (0, 0)
+        for path in entries:
+            if path.suffix != ".json":
+                continue
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # completed/reaped under us
+            if age <= self.lease_ttl:
+                continue
+            key = path.stem
+            record = _read_json(path) or {"key": key, "attempt": 1}
+            holder = record.get("worker")
+            attempt = int(record.get("attempt", 1))
+            if attempt > self.max_requeues:
+                self._fail_record(key, record, {
+                    "exception": "LeaseExpired",
+                    "message": (
+                        f"lease expired {attempt} time(s); last worker "
+                        f"{holder or 'unknown'} never completed the cell"
+                    ),
+                    "kind": "lost",
+                    "worker": holder,
+                })
+                lost += 1
+                continue
+            target = self._queued(key)
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # a racing reaper (or completion) got there first
+            record["attempt"] = attempt + 1
+            record.pop("worker", None)
+            record.pop("leased_at", None)
+            _write_atomic(target, record)
+            os.utime(target)
+            self._event("requeue", key, worker=holder, attempt=attempt + 1)
+            requeued += 1
+        return (requeued, lost)
+
+    # -- accounting ----------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out = {}
+        for state in ("queue", "active", "done", "failed"):
+            try:
+                out[state] = sum(
+                    1 for p in (self.root / state).iterdir() if p.suffix == ".json"
+                )
+            except OSError:
+                out[state] = 0
+        out["runs"] = sum(
+            1 for p in (self.root / "runs").iterdir() if p.suffix == ".json"
+        )
+        return out
+
+    def runs(self) -> List[RunRecord]:
+        out = []
+        for path in sorted((self.root / "runs").iterdir()):
+            data = _read_json(path)
+            if data is not None:
+                out.append(RunRecord.from_dict(data))
+        return out
+
+    def run(self, run_id: str) -> Optional[RunRecord]:
+        data = _read_json(self._run_path(run_id))
+        return RunRecord.from_dict(data) if data is not None else None
+
+    def cell_state(self, key: str) -> str:
+        """``done`` | ``failed`` | ``active`` | ``queued`` | ``cached``
+        | ``unknown`` — in precedence order (a completed cell may still
+        have a stale queue copy for a moment)."""
+        if self._done(key).exists():
+            return "done"
+        if self._failed(key).exists():
+            return "failed"
+        if self._active(key).exists():
+            return "active"
+        if self._queued(key).exists():
+            return "queued"
+        if self.cache.get(key) is not None:
+            return "cached"
+        return "unknown"
+
+    def run_status(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """Per-run progress: cell states, terminal flag, counts."""
+        run = self.run(run_id)
+        if run is None:
+            return None
+        states = {key: self.cell_state(key) for key in run.keys}
+        counts: Dict[str, int] = {}
+        for state in states.values():
+            counts[state] = counts.get(state, 0) + 1
+        finished = sum(
+            counts.get(s, 0) for s in ("done", "failed", "cached")
+        ) + counts.get("unknown", 0)
+        return {
+            "run": run.id,
+            "experiment": run.experiment,
+            "created": run.created,
+            "cells": len(run.keys),
+            "counts": counts,
+            "done": finished >= len(run.keys),
+            "states": states,
+        }
+
+    def run_manifest(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """A sweep-manifest-shaped account of one run: per-cell status,
+        worker attribution and wall-clock (from the ``done`` markers),
+        failures, and every lease requeue — so the progress stream and
+        the manifest tell one timing story (docs/robustness.md)."""
+        run = self.run(run_id)
+        if run is None:
+            return None
+        cells = []
+        failures = []
+        for key in run.keys:
+            state = self.cell_state(key)
+            cell: Dict[str, Any] = {
+                "label": run.labels.get(key, key[:12]),
+                "key": key,
+                "status": "failed" if state == "failed" else "ok"
+                if state in ("done", "cached") else state,
+            }
+            marker = _read_json(self._done(key))
+            if marker is not None:
+                cell["worker"] = marker.get("worker")
+                if marker.get("elapsed") is not None:
+                    cell["elapsed_s"] = marker["elapsed"]
+            elif state == "cached" or key in run.cached:
+                cell["worker"] = "cache"
+            failure = _read_json(self._failed(key))
+            if failure is not None:
+                failures.append(failure)
+            cells.append(cell)
+        requeues = [
+            ev for ev in self.events()
+            if ev.get("kind") == "requeue" and ev.get("key") in run.labels
+        ]
+        ok = sum(1 for c in cells if c["status"] == "ok")
+        return {
+            "schema": 1,
+            "run": run.id,
+            "experiment": run.experiment,
+            "cells": len(cells),
+            "ok": ok,
+            "failed": len(failures),
+            "cache_hits": len(run.cached),
+            "requeued": len(requeues),
+            "jobs": cells,
+            "failures": failures,
+            "requeues": requeues,
+        }

@@ -1,0 +1,514 @@
+"""``repro serve``: the long-running HTTP front-end over a broker.
+
+Pure stdlib (:class:`http.server.ThreadingHTTPServer`) — no new
+dependencies.  The server owns a
+:class:`~repro.service.broker.FsBroker` (shared queue + shared
+content-addressed cache namespace) plus a background reaper thread
+that requeues expired leases, and exposes:
+
+============================  =========================================
+``POST /experiments``         submit a registered experiment as a run
+``GET  /experiments``         the experiment registry (the API surface)
+``GET  /runs``                all runs with live progress counts
+``GET  /runs/<id>``           one run's status (terminal flag, states)
+``GET  /runs/<id>/events``    cell-level progress as NDJSON (or SSE
+                              with ``Accept: text/event-stream``);
+                              ``?follow=1`` streams until the run ends
+``GET  /runs/<id>/manifest``  sweep-manifest-shaped account (workers,
+                              per-cell wall-clock, failures, requeues)
+``GET  /results/<key>``       a cached ``CaseResult`` (the cache = CDN)
+``GET  /results/<key>/telemetry``  the cell's telemetry bundle
+``GET  /metrics``             live Prometheus exposition: service
+                              gauges + the freshest telemetry bundle
+``POST /broker/claim|heartbeat|complete|fail``   the worker protocol
+``GET  /healthz``             liveness probe
+============================  =========================================
+
+Workers may attach either directly to the broker directory
+(``repro worker --broker /path``) or over TCP through this server
+(``repro worker --broker http://host:8642``) — the protocol is the
+same four verbs either way.  See ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.broker import FsBroker
+
+__all__ = ["ServiceServer", "serve", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8642
+
+#: how long a follow-mode event stream sleeps between log polls.
+_FOLLOW_POLL = 0.2
+
+
+class _BadRequest(ValueError):
+    """Maps to a 400 with the message in the JSON error body."""
+
+
+def _resolve_submission(request: Dict[str, Any]) -> Tuple[Any, List[Any]]:
+    """Expand a ``POST /experiments`` body into (experiment, jobs).
+
+    Validates names against the live registries with the CLI's
+    case-insensitive contract; anything unknown raises
+    :class:`_BadRequest` (the HTTP analogue of exit code 2)."""
+    from repro.core.ccfit import SCHEMES
+    from repro.experiments import registry
+
+    name = request.get("experiment")
+    if not name:
+        raise _BadRequest("missing 'experiment'")
+    try:
+        exp = registry.get(name)
+    except KeyError as exc:
+        raise _BadRequest(str(exc))
+    schemes: Optional[Tuple[str, ...]] = None
+    if request.get("schemes"):
+        by_fold = {s.casefold(): s for s in SCHEMES}
+        resolved = []
+        for raw in request["schemes"]:
+            match = by_fold.get(str(raw).casefold())
+            if match is None:
+                raise _BadRequest(f"unknown scheme {raw!r}")
+            resolved.append(match)
+        schemes = tuple(resolved)
+    routings: Optional[Tuple[str, ...]] = None
+    if request.get("routings"):
+        from repro.network.routing import policy_names
+
+        by_fold = {n.casefold(): n for n in policy_names()}
+        resolved = []
+        for raw in request["routings"]:
+            match = by_fold.get(str(raw).casefold())
+            if match is None:
+                raise _BadRequest(f"unknown routing policy {raw!r}")
+            resolved.append(match)
+        routings = tuple(resolved)
+    kernel = request.get("kernel")
+    if kernel is not None:
+        from repro.sim.engine import resolve_kernel
+
+        try:
+            kernel = resolve_kernel(kernel)
+        except ValueError as exc:
+            raise _BadRequest(str(exc))
+    buffer_model = request.get("buffer_model")
+    if buffer_model is not None:
+        from repro.network.buffers import buffer_model_names
+
+        match = {n.casefold(): n for n in buffer_model_names()}.get(
+            str(buffer_model).casefold()
+        )
+        if match is None:
+            raise _BadRequest(f"unknown buffer model {buffer_model!r}")
+        buffer_model = match
+    faults = None
+    if request.get("faults"):
+        from repro.sim.faults import FaultPlan, FaultPlanError
+
+        try:
+            faults = FaultPlan.parse(request["faults"])
+        except FaultPlanError as exc:
+            raise _BadRequest(f"bad faults spec: {exc}")
+    telemetry = None
+    if request.get("telemetry"):
+        from repro.telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig(
+            interval=float(request.get("telemetry_interval", 100_000.0))
+        )
+    extra = request.get("extra") or {}
+    if not isinstance(extra, dict):
+        raise _BadRequest("'extra' must be an object of per-case knobs")
+    try:
+        jobs = exp.jobs(
+            schemes=schemes,
+            routings=routings,
+            time_scale=float(request.get("time_scale", 1.0)),
+            seed=int(request.get("seed", 1)),
+            telemetry=telemetry,
+            kernel=kernel,
+            faults=faults,
+            buffer_model=buffer_model,
+            **extra,
+        )
+    except (TypeError, KeyError, ValueError) as exc:
+        raise _BadRequest(f"cannot expand experiment: {exc}")
+    return exp, jobs
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # -- response helpers ----------------------------------------------
+    def _json(self, payload: Dict[str, Any], status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._json({"error": message}, status=status)
+
+    def _text(self, text: str, content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            raise _BadRequest("request body is not valid JSON")
+        if not isinstance(data, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return data
+
+    @property
+    def svc(self) -> "ServiceServer":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.svc.verbose:
+            super().log_message(fmt, *args)
+
+    # -- routing -------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_get()
+        except _BadRequest as exc:
+            self._error(400, str(exc))
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # never kill the handler thread
+            try:
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            except Exception:
+                pass
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            self._route_post()
+        except _BadRequest as exc:
+            self._error(400, str(exc))
+        except BrokenPipeError:
+            pass
+        except Exception as exc:
+            try:
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            except Exception:
+                pass
+
+    def _route_get(self) -> None:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = parse_qs(parsed.query)
+        broker = self.svc.broker
+        if parts == ["healthz"]:
+            self._json({"ok": True, "uptime_s": time.time() - self.svc.started})
+        elif parts == ["experiments"]:
+            from repro.experiments import registry
+
+            self._json({"experiments": registry.describe()})
+        elif parts == ["runs"]:
+            self._json({
+                "runs": [
+                    broker.run_status(run.id) for run in broker.runs()
+                ]
+            })
+        elif len(parts) == 2 and parts[0] == "runs":
+            status = broker.run_status(parts[1])
+            if status is None:
+                return self._error(404, f"unknown run {parts[1]!r}")
+            self._json(status)
+        elif len(parts) == 3 and parts[0] == "runs" and parts[2] == "manifest":
+            manifest = broker.run_manifest(parts[1])
+            if manifest is None:
+                return self._error(404, f"unknown run {parts[1]!r}")
+            self._json(manifest)
+        elif len(parts) == 3 and parts[0] == "runs" and parts[2] == "events":
+            follow = query.get("follow", ["0"])[0] not in ("0", "", "false")
+            self._stream_events(parts[1], follow)
+        elif len(parts) == 2 and parts[0] == "results":
+            result = broker.cache.get(parts[1])
+            if result is None:
+                return self._error(404, f"no cached result for key {parts[1][:16]!r}")
+            self._json({"key": parts[1], "result": result.to_dict()})
+        elif len(parts) == 3 and parts[0] == "results" and parts[2] == "telemetry":
+            result = broker.cache.get(parts[1])
+            if result is None:
+                return self._error(404, f"no cached result for key {parts[1][:16]!r}")
+            if result.telemetry is None:
+                return self._error(404, "cell ran without telemetry")
+            self._json({"key": parts[1], "telemetry": result.telemetry})
+        elif parts == ["metrics"]:
+            self._text(self.svc.render_metrics(), "text/plain; version=0.0.4; charset=utf-8")
+        else:
+            self._error(404, f"no such endpoint: GET {parsed.path}")
+
+    def _route_post(self) -> None:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        broker = self.svc.broker
+        if parts == ["experiments"]:
+            request = self._body()
+            exp, jobs = _resolve_submission(request)
+            run = broker.submit(jobs, experiment=exp.name)
+            self._json({
+                "run": run.id,
+                "experiment": exp.name,
+                "cells": len(run.keys),
+                "cached": len(run.cached),
+                "keys": run.keys,
+                "labels": run.labels,
+            }, status=201)
+        elif parts == ["broker", "claim"]:
+            body = self._body()
+            worker = body.get("worker") or "anonymous"
+            lease = broker.claim(worker)
+            if lease is None:
+                self._json({"lease": None})
+            else:
+                self._json({
+                    "lease": {
+                        "key": lease.key,
+                        "spec": lease.spec,
+                        "attempt": lease.attempt,
+                        "ttl": lease.ttl,
+                    }
+                })
+        elif parts == ["broker", "heartbeat"]:
+            body = self._body()
+            ok = broker.heartbeat(body.get("key", ""), body.get("worker", ""))
+            self._json({"ok": ok})
+        elif parts == ["broker", "complete"]:
+            body = self._body()
+            if not body.get("key") or not isinstance(body.get("result"), dict):
+                raise _BadRequest("complete needs 'key' and a 'result' object")
+            stored = broker.complete(
+                body["key"],
+                body.get("worker", "anonymous"),
+                body["result"],
+                elapsed=body.get("elapsed"),
+            )
+            self._json({"ok": True, "stored": stored})
+        elif parts == ["broker", "fail"]:
+            body = self._body()
+            if not body.get("key"):
+                raise _BadRequest("fail needs 'key'")
+            broker.fail(
+                body["key"], body.get("worker", "anonymous"),
+                body.get("failure") or {},
+            )
+            self._json({"ok": True})
+        else:
+            self._error(404, f"no such endpoint: POST {parsed.path}")
+
+    # -- event streaming -----------------------------------------------
+    def _stream_events(self, run_id: str, follow: bool) -> None:
+        broker = self.svc.broker
+        run = broker.run(run_id)
+        if run is None:
+            return self._error(404, f"unknown run {run_id!r}")
+        sse = "text/event-stream" in (self.headers.get("Accept") or "")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type",
+            "text/event-stream" if sse else "application/x-ndjson",
+        )
+        self.send_header("Cache-Control", "no-cache")
+        if follow:
+            self.send_header("Connection", "close")
+        self.end_headers()
+
+        keys = set(run.keys)
+
+        def emit(rec: Dict[str, Any]) -> None:
+            line = json.dumps(rec, separators=(",", ":"))
+            if sse:
+                self.wfile.write(f"data: {line}\n\n".encode("utf-8"))
+            else:
+                self.wfile.write((line + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+        def wanted(rec: Dict[str, Any]) -> bool:
+            return rec.get("run") == run_id or rec.get("key") in keys
+
+        sent = 0
+        for rec in broker.events():
+            if wanted(rec):
+                emit(rec)
+                sent += 1
+        if follow:
+            deadline = time.monotonic() + self.svc.follow_timeout
+            while time.monotonic() < deadline:
+                status = broker.run_status(run_id)
+                done = bool(status and status.get("done"))
+                seen = 0
+                for rec in broker.events():
+                    if not wanted(rec):
+                        continue
+                    seen += 1
+                    if seen > sent:
+                        emit(rec)
+                sent = max(sent, seen)
+                if done:
+                    break
+                time.sleep(_FOLLOW_POLL)
+            status = broker.run_status(run_id) or {}
+            emit({
+                "kind": "end-of-run",
+                "run": run_id,
+                "done": bool(status.get("done")),
+                "counts": status.get("counts", {}),
+            })
+        if not follow and sse:
+            emit({"kind": "end-of-stream", "run": run_id})
+
+
+class ServiceServer:
+    """The ``repro serve`` process object: HTTP front-end + broker +
+    background lease reaper.  Usable programmatically (tests, the CI
+    smoke) via :meth:`start`/:meth:`stop`, or blocking via
+    :meth:`serve_forever`."""
+
+    def __init__(
+        self,
+        broker_dir,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache_dir: Optional[str] = None,
+        lease_ttl: float = 60.0,
+        reap_interval: Optional[float] = None,
+        verbose: bool = False,
+        follow_timeout: float = 3600.0,
+    ) -> None:
+        self.broker = FsBroker(broker_dir, cache_dir=cache_dir, lease_ttl=lease_ttl)
+        self.verbose = verbose
+        self.follow_timeout = follow_timeout
+        self.started = time.time()
+        self.reap_interval = (
+            reap_interval if reap_interval is not None else max(0.5, lease_ttl / 4.0)
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._reaper_stop = threading.Event()
+        self._reaper = threading.Thread(target=self._reap_loop, daemon=True)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def _reap_loop(self) -> None:
+        while not self._reaper_stop.wait(self.reap_interval):
+            try:
+                self.broker.reap()
+            except Exception:
+                pass
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ServiceServer":
+        self._reaper.start()
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._reaper.start()
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._reaper_stop.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- metrics -------------------------------------------------------
+    def render_metrics(self) -> str:
+        """Live Prometheus exposition: service gauges plus — when a
+        completed cell carries one — the freshest telemetry bundle via
+        the PR 5 exporter, so a scrape sees simulation internals, not
+        just queue depths."""
+        from repro.telemetry.export import format_exposition, render_prometheus
+
+        counts = self.broker.counts()
+        kinds: Dict[str, int] = {}
+        for rec in self.broker.events():
+            k = rec.get("kind", "?")
+            kinds[k] = kinds.get(k, 0) + 1
+        specs = [
+            ("service_uptime_seconds", "Seconds since repro serve started", "gauge",
+             [({}, round(time.time() - self.started, 3))]),
+            ("service_cells", "Broker cells by state", "gauge",
+             [({"state": s}, counts.get(s, 0)) for s in ("queue", "active", "done", "failed")]),
+            ("service_runs_total", "Experiments submitted", "counter",
+             [({}, counts.get("runs", 0))]),
+            ("service_events_total", "Broker events by kind", "counter",
+             [({"kind": k}, n) for k, n in sorted(kinds.items())]),
+        ]
+        text = format_exposition(specs)
+        bundle = self._freshest_bundle()
+        if bundle is not None:
+            text += render_prometheus(bundle)
+        return text
+
+    def _freshest_bundle(self) -> Optional[Dict[str, Any]]:
+        done_dir = self.broker.root / "done"
+        try:
+            markers = sorted(
+                (p for p in done_dir.iterdir() if p.suffix == ".json"),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:
+            return None
+        for marker in markers[:8]:  # bounded: scrapes must stay cheap
+            result = self.broker.cache.get(marker.stem)
+            if result is not None and result.telemetry is not None:
+                return result.telemetry
+        return None
+
+
+def serve(
+    broker_dir,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    **kw: Any,
+) -> None:
+    """Blocking entry point behind ``repro serve``."""
+    server = ServiceServer(broker_dir, host=host, port=port, **kw)
+    print(f"repro serve: listening on {server.url} (broker {server.broker.root})")
+    server.serve_forever()

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional
 __all__ = [
     "TELEMETRY_FORMATS",
     "write_jsonl",
+    "format_exposition",
     "render_prometheus",
     "render_dashboard",
     "write_bundle",
@@ -111,13 +112,14 @@ def _esc(label: str) -> str:
     return str(label).replace("\\", "\\\\").replace('"', '\\"')
 
 
-def render_prometheus(bundle: Dict[str, Any]) -> str:
-    """Prometheus-style text exposition of the bundle's *final* sample
-    (gauges) and its run counters.  Self-contained text; suitable for a
-    node-exporter-style textfile collector."""
+def format_exposition(specs: List) -> str:
+    """Low-level Prometheus text formatting shared by
+    :func:`render_prometheus` and the ``repro serve`` ``/metrics``
+    endpoint.  ``specs`` is a list of ``(name, help, type, rows)``
+    where ``rows`` is ``[(labels_dict, value), ...]``; names are
+    emitted under the ``repro_`` prefix and None values are skipped."""
     lines: List[str] = []
-
-    def metric(name: str, help_: str, type_: str, rows: List) -> None:
+    for name, help_, type_, rows in specs:
         lines.append(f"# HELP {name} {help_}")
         lines.append(f"# TYPE {name} {type_}")
         for labels, value in rows:
@@ -129,6 +131,18 @@ def render_prometheus(bundle: Dict[str, Any]) -> str:
                 else ""
             )
             lines.append(f"repro_{name}{label_s} {value}")
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus(bundle: Dict[str, Any]) -> str:
+    """Prometheus-style text exposition of the bundle's *final* sample
+    (gauges) and its run counters.  Self-contained text; suitable for a
+    node-exporter-style textfile collector (or, live, the ``repro
+    serve`` ``/metrics`` scrape endpoint)."""
+    specs: List = []
+
+    def metric(name: str, help_: str, type_: str, rows: List) -> None:
+        specs.append((name, help_, type_, rows))
 
     metric("telemetry_samples_total", "Samples recorded", "counter",
            [({}, bundle.get("ticks", 0))])
@@ -181,7 +195,7 @@ def render_prometheus(bundle: Dict[str, Any]) -> str:
                [({}, stats.get("max_concurrent_trees"))])
         metric("congestion_tree_cam_full_total", "CAM-full events", "counter",
                [({}, stats.get("cam_full_events"))])
-    return "\n".join(lines) + "\n"
+    return format_exposition(specs)
 
 
 # ----------------------------------------------------------------------
